@@ -1,0 +1,159 @@
+// Command rustore inspects a saved measurement store (the binary file
+// written by `whereru -store FILE` or Study.SaveStore): summary
+// statistics, per-domain configuration history, and CSV export of any
+// domain's longitudinal record — the raw-data workbench next to
+// cmd/whereru's finished report.
+//
+// Usage:
+//
+//	rustore info    FILE
+//	rustore domains FILE [prefix]
+//	rustore history FILE DOMAIN
+//	rustore csv     FILE DOMAIN > out.csv
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+
+	"whereru/internal/dns"
+	"whereru/internal/report"
+	"whereru/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rustore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: rustore info|domains|history|csv FILE [args]")
+	}
+	cmd, path := args[0], args[1]
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := store.Read(f)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "info":
+		return info(st)
+	case "domains":
+		prefix := ""
+		if len(args) > 2 {
+			prefix = dns.Canonical(args[2])
+			prefix = strings.TrimSuffix(prefix, ".")
+		}
+		return domains(st, prefix)
+	case "history":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: rustore history FILE DOMAIN")
+		}
+		return history(st, dns.Canonical(args[2]))
+	case "csv":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: rustore csv FILE DOMAIN")
+		}
+		return csvExport(st, dns.Canonical(args[2]))
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func info(st *store.Store) error {
+	stats := st.Stats()
+	sweeps := st.Sweeps()
+	fmt.Printf("domains:       %d\n", stats.Domains)
+	fmt.Printf("epochs:        %d\n", stats.Epochs)
+	fmt.Printf("naive records: %d (%.1fx compression)\n", stats.NaiveRecords,
+		float64(stats.NaiveRecords)/float64(max64(stats.Epochs, 1)))
+	if len(sweeps) > 0 {
+		fmt.Printf("sweeps:        %d (%s .. %s)\n", len(sweeps), sweeps[0], sweeps[len(sweeps)-1])
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func domains(st *store.Store, prefix string) error {
+	n := 0
+	for _, d := range st.Domains() {
+		if prefix != "" && !strings.HasPrefix(d, prefix) {
+			continue
+		}
+		fmt.Println(d)
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "%d domains\n", n)
+	return nil
+}
+
+func history(st *store.Store, domain string) error {
+	h := st.History(domain)
+	if len(h) == 0 {
+		return fmt.Errorf("no measurements for %s", domain)
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("configuration history of %s (%d epochs)", domain, len(h)),
+		Headers: []string{"from", "NS hosts", "NS addrs", "apex addrs", "MX hosts", "failed"},
+	}
+	for _, m := range h {
+		t.AddRow(m.Day.String(),
+			strings.Join(m.Config.NSHosts, " "),
+			joinAddrs(m.Config.NSAddrs),
+			joinAddrs(m.Config.ApexAddrs),
+			strings.Join(m.Config.MXHosts, " "),
+			fmt.Sprint(m.Config.Failed))
+	}
+	_, err := t.WriteTo(os.Stdout)
+	return err
+}
+
+func joinAddrs(addrs []netip.Addr) string {
+	parts := make([]string, len(addrs))
+	for i, a := range addrs {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+func csvExport(st *store.Store, domain string) error {
+	h := st.History(domain)
+	if len(h) == 0 {
+		return fmt.Errorf("no measurements for %s", domain)
+	}
+	rows := make([][]string, 0, len(h))
+	for _, m := range h {
+		rows = append(rows, []string{
+			m.Day.String(),
+			strings.Join(m.Config.NSHosts, ";"),
+			joinAddrsSep(m.Config.NSAddrs),
+			joinAddrsSep(m.Config.ApexAddrs),
+			strings.Join(m.Config.MXHosts, ";"),
+			fmt.Sprint(m.Config.Failed),
+		})
+	}
+	return report.CSV(os.Stdout, []string{"from", "ns_hosts", "ns_addrs", "apex_addrs", "mx_hosts", "failed"}, rows)
+}
+
+func joinAddrsSep(addrs []netip.Addr) string {
+	parts := make([]string, len(addrs))
+	for i, a := range addrs {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ";")
+}

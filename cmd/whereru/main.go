@@ -1,0 +1,113 @@
+// Command whereru runs the full reproduction: it builds the synthetic
+// .ru/.рф ecosystem, collects five years of (simulated) OpenINTEL-style
+// DNS sweeps plus the 2022 TLS scans, and regenerates every figure and
+// table of "Where .ru? Assessing the Impact of Conflict on Russian Domain
+// Infrastructure" (IMC 2022) with a paper-vs-measured index.
+//
+// Usage:
+//
+//	whereru [flags]
+//
+//	-scale N        population scale divisor (default 200; 2000 is fast)
+//	-seed N         world seed (default 20220224)
+//	-step N         dense sweep interval in days for 2022 (default 3)
+//	-workers N      sweep concurrency (default 8)
+//	-markdown FILE  also write the EXPERIMENTS.md content to FILE
+//	-store FILE     also write the binary measurement store to FILE
+//	-quiet          suppress progress logging
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"whereru/internal/core"
+	"whereru/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "whereru:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scale := flag.Int("scale", 200, "population scale divisor (1:N of the paper's 11.7M domains)")
+	seed := flag.Int64("seed", 20220224, "world seed")
+	step := flag.Int("step", 3, "dense sweep interval in days for 2022")
+	workers := flag.Int("workers", 8, "sweep concurrency")
+	markdown := flag.String("markdown", "", "write EXPERIMENTS.md content to this file")
+	storePath := flag.String("store", "", "write the binary measurement store to this file")
+	csvDir := flag.String("csvdir", "", "write per-figure CSV series into this directory")
+	mx := flag.Bool("mx", true, "collect MX records (mail-measurement extension)")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+
+	opts := core.Options{
+		World:     world.Config{Seed: *seed, Scale: *scale, RFShare: 0.10},
+		DenseStep: *step,
+		Workers:   *workers,
+		CollectMX: *mx,
+	}
+	if !*quiet {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	study, err := core.New(opts)
+	if err != nil {
+		return err
+	}
+	if err := study.Collect(context.Background()); err != nil {
+		return err
+	}
+	if err := study.RenderAll(os.Stdout); err != nil {
+		return err
+	}
+	if *markdown != "" {
+		f, err := os.Create(*markdown)
+		if err != nil {
+			return err
+		}
+		if err := study.ExperimentsMarkdown(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *markdown)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		err := study.ExportCSV(func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(*csvDir, name))
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote CSV series to %s\n", *csvDir)
+	}
+	if *storePath != "" {
+		f, err := os.Create(*storePath)
+		if err != nil {
+			return err
+		}
+		if err := study.SaveStore(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *storePath)
+	}
+	return nil
+}

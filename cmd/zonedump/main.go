@@ -1,0 +1,74 @@
+// Command zonedump materializes the simulated registry's daily zone file
+// — the artifact the paper's measurement pipeline is seeded from — and
+// can diff two days' snapshots to show registrations, deletions and
+// name-server changes (e.g. the Netnod cutoff on 2022-03-03).
+//
+// Usage:
+//
+//	zonedump [-scale N] -date 2022-03-02 [-tld ru] > ru.zone
+//	zonedump [-scale N] -date 2022-03-02 -diff 2022-03-03 -tld ru
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whereru/internal/dns/zone"
+	"whereru/internal/simtime"
+	"whereru/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zonedump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	date := flag.String("date", simtime.ConflictStart.String(), "snapshot date (YYYY-MM-DD)")
+	diffDate := flag.String("diff", "", "second date: print the diff instead of the zone")
+	tld := flag.String("tld", "ru", "TLD to export (ru or xn--p1ai)")
+	scale := flag.Int("scale", 2000, "world scale divisor")
+	seed := flag.Int64("seed", 20220224, "world seed")
+	flag.Parse()
+
+	day, err := simtime.Parse(*date)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "building world (scale 1:%d)...\n", *scale)
+	w, err := world.Build(world.Config{Seed: *seed, Scale: *scale, RFShare: 0.10})
+	if err != nil {
+		return err
+	}
+	z, err := w.ExportZone(*tld, day)
+	if err != nil {
+		return err
+	}
+	if *diffDate == "" {
+		_, err = z.WriteTo(os.Stdout)
+		return err
+	}
+
+	day2, err := simtime.Parse(*diffDate)
+	if err != nil {
+		return err
+	}
+	z2, err := w.ExportZone(*tld, day2)
+	if err != nil {
+		return err
+	}
+	d := zone.Compare(z, z2)
+	fmt.Printf("; %s: %d records, %s: %d records\n", day, z.Size(), day2, z2.Size())
+	fmt.Printf("; +%d -%d records, %d delegations changed\n",
+		len(d.Added), len(d.Removed), len(zone.ChangedDelegations(z, z2)))
+	for _, rr := range d.Removed {
+		fmt.Printf("- %s\n", rr)
+	}
+	for _, rr := range d.Added {
+		fmt.Printf("+ %s\n", rr)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Mail concentration (extension): who runs the mail for .ru/.рф domains?
+// The paper's related work (Liu et al., "Who's Got Your Mail?", IMC '21 —
+// cited in §5) shows Russia bucking the Western mail-centralization trend
+// with heavily domestic providers. This example enables the pipeline's MX
+// collection, groups domains by mail operator, and computes HHI market
+// concentration alongside the hosting and certificate markets.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"whereru/internal/analysis"
+	"whereru/internal/openintel"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+	"whereru/internal/world"
+)
+
+func main() {
+	w, err := world.Build(world.Config{Seed: 1, Scale: 5000, RFShare: 0.10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := store.New()
+	pipe := &openintel.Pipeline{
+		Resolver:  w.NewResolver(),
+		Seeds:     w.Registries,
+		Clock:     w.Clock(),
+		Store:     st,
+		Workers:   4,
+		CollectMX: true, // the extension switch
+	}
+	days := []simtime.Day{
+		simtime.ConflictStart.Add(-7),
+		world.GoogleStmtDay.Add(45),
+	}
+	for _, d := range days {
+		if _, err := pipe.Sweep(context.Background(), d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	an := &analysis.Analyzer{Store: st, Geo: w.Geo, Internet: w.Internet}
+	series := an.MailProviderSeries(days, nil)
+	fmt.Println("mail operators of .ru/.рф domains (share of domains with MX):")
+	for i, label := range []string{"pre-conflict ", "post-conflict"} {
+		p := series[i]
+		fmt.Printf("\n%s (%s, %d of %d domains publish MX):\n", label, p.Day, p.WithMail, p.Total)
+		for _, z := range analysis.TopMailZones(series, 5) {
+			fmt.Printf("  %-22s %5.1f%%\n", z, p.Share(z))
+		}
+	}
+
+	fmt.Println("\nmarket concentration (HHI, 1.0 = monopoly):")
+	mailHHI := an.MailConcentration(days, nil)
+	hostHHI := an.HostingConcentration(days, nil)
+	caHHI := analysis.CAConcentration(w.CTLog)
+	fmt.Printf("  mail operators:  %.3f → %.3f\n", mailHHI[0].HHI, mailHHI[1].HHI)
+	fmt.Printf("  hosting ASNs:    %.3f → %.3f\n", hostHHI[0].HHI, hostHHI[1].HHI)
+	fmt.Printf("  certificate CAs: %.3f (pre-conflict) → %.3f (post-sanctions)\n",
+		caHHI[0].HHI, caHHI[2].HHI)
+	fmt.Println("\nThe certificate market is the outlier: the paper's §6 warns that")
+	fmt.Println("Let's Encrypt's near-complete control of .ru certificates is Russia's")
+	fmt.Println("one area of significant exposure — visible here as a CA HHI far above")
+	fmt.Println("the diverse hosting and mail markets.")
+}

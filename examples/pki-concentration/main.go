@@ -1,0 +1,95 @@
+// PKI concentration: the paper's §4. Reads the CT log like Censys does,
+// shows certificate issuance collapsing onto Let's Encrypt after the
+// invasion (Table 1, Figure 8), the revocation split between ordinary and
+// sanctioned domains (Table 2), and the barely-used Russian Trusted Root
+// CA that only Internet-wide scans can see (§4.3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"whereru/internal/analysis"
+	"whereru/internal/ct"
+	"whereru/internal/pki"
+	"whereru/internal/report"
+	"whereru/internal/scan"
+	"whereru/internal/simtime"
+	"whereru/internal/world"
+)
+
+func main() {
+	w, err := world.Build(world.Config{Seed: 1, Scale: 2000, RFShare: 0.10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A CT monitor tails the log for certificates naming .ru/.рф domains,
+	// exactly as the paper's Censys-indexed pipeline does.
+	monitor := ct.NewMonitor(w.CTLog, func(c *pki.Certificate) bool { return c.MatchesRussianTLD() })
+	entries := monitor.Poll()
+	fmt.Printf("CT log %q: %d entries, %d match .ru/.рф\n\n", w.CTLog.Name, w.CTLog.Size(), len(entries))
+
+	// Table 1: issuance per period.
+	t1 := &report.Table{
+		Title:   "Issuance by period (paper Table 1)",
+		Headers: []string{"period", "total", "Let's Encrypt", "#2", "#3"},
+	}
+	for _, p := range analysis.IssuanceByPeriod(w.CTLog) {
+		second, third := "-", "-"
+		if len(p.Issuers) > 1 {
+			second = fmt.Sprintf("%s %.2f%%", p.Issuers[1].Org, p.Share(p.Issuers[1].Org))
+		}
+		if len(p.Issuers) > 2 {
+			third = fmt.Sprintf("%s %.2f%%", p.Issuers[2].Org, p.Share(p.Issuers[2].Org))
+		}
+		t1.AddRow(p.Period.String(), fmt.Sprint(p.Total),
+			fmt.Sprintf("%.2f%%", p.Share(pki.LetsEncrypt)), second, third)
+	}
+	if _, err := t1.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 8: who kept issuing?
+	fmt.Println()
+	timelines := analysis.IssuanceTimelines(w.CTLog, 10)
+	dot := &report.DotTimeline{
+		Title: "CA issuance activity (paper Figure 8; '|' marks conflict start and sanctions)",
+		From:  simtime.CTWindowStart, To: simtime.CTWindowEnd, Step: 2,
+		Marks: map[simtime.Day]byte{simtime.ConflictStart: '|', simtime.SanctionsInEffect: '|'},
+	}
+	for _, tl := range timelines {
+		dot.Rows = append(dot.Rows, report.DotRow{Name: tl.Org, Active: tl.ActiveDays})
+	}
+	if _, err := dot.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Table 2: revocations, overall vs sanctioned.
+	fmt.Println()
+	t2 := &report.Table{
+		Title:   "Revocations by CA (paper Table 2)",
+		Headers: []string{"issuer", "issued", "revoked", "rate", "sanctioned", "revoked", "rate"},
+	}
+	for _, r := range analysis.RevocationStats(w.CTLog, w.Certs, w.Sanctions, 5) {
+		t2.AddRow(r.Org, fmt.Sprint(r.Issued), fmt.Sprint(r.Revoked), report.Pct(r.RevokedPct()),
+			fmt.Sprint(r.SancIssued), fmt.Sprint(r.SancRevoked), report.Pct(r.SancRevokedPct()))
+	}
+	if _, err := t2.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// §4.3: the Russian Trusted Root CA never appears in CT — only
+	// Internet-wide TLS scans reveal it.
+	archive := scan.NewArchive()
+	for d := world.RussianCAStartDay; d <= simtime.CTWindowEnd; d = d.Add(7) {
+		archive.Record(d, w.Scanner.Sweep(d))
+	}
+	rep := analysis.RussianCAImpact(archive, w.Sanctions)
+	fmt.Printf("\nRussian Trusted Root CA (visible only in scans):\n")
+	fmt.Printf("  unique certificates: %d (paper: 170)\n", rep.UniqueCerts)
+	fmt.Printf("  securing %d .ru and %d .рф domains; %d certs cover sanctioned domains (%.0f%% of the list)\n",
+		rep.RuDomains, rep.RFDomains, rep.SanctionedCerts, 100*float64(rep.SanctionedDomains)/107)
+	fmt.Printf("  other CAs in the same scans: %d certificates\n", rep.BackdropCerts)
+}

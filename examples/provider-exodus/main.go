@@ -1,0 +1,66 @@
+// Provider exodus: the §3.4 case studies. Amazon, Sedo, Cloudflare and
+// Google each announced a different posture toward Russian customers in
+// March 2022; this example measures what actually happened to the .ru/.рф
+// domains hosted in their networks (Figures 6 and 7).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"whereru/internal/core"
+	"whereru/internal/netsim"
+	"whereru/internal/simtime"
+	"whereru/internal/world"
+)
+
+func main() {
+	opts := core.QuickOptions()
+	opts.Progress = func(format string, args ...any) {
+		fmt.Printf("… "+format+"\n", args...)
+	}
+	study, err := core.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := study.Collect(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	cases := []struct {
+		name      string
+		statement string
+		asn       netsim.ASN
+		baseline  simtime.Day
+	}{
+		{"Amazon", "no new RU/BY AWS accounts (Mar 8)", 16509, world.AmazonStmtDay},
+		{"Sedo", "\"pulling the plug\" on Russian domains (Mar 9)", 47846, world.SedoStmtDay.Add(-1)},
+		{"Cloudflare", "complying with sanctions, staying in Russia (Mar 7)", 13335, world.CloudflareStmtDay},
+		{"Google", "no new cloud customers in Russia (Mar 10)", 15169, world.GoogleStmtDay},
+	}
+	scale := study.Scale()
+	for _, c := range cases {
+		m := study.Movement(c.asn, c.baseline)
+		fmt.Printf("\n%s (AS%d) — %s\n", c.name, c.asn, c.statement)
+		fmt.Printf("  domains on %s: %d (≈%d at paper scale)\n", c.baseline, m.Original, m.Original*scale)
+		fmt.Printf("  by %s: %d remained (%.1f%%), %d relocated (%.1f%%), %d left the zone\n",
+			simtime.StudyEnd, m.Remained, m.RemainedPct(), m.RelocatedOut, m.RelocatedPct(), m.Gone)
+		fmt.Printf("  incoming: %d newly registered, %d relocated in\n", m.NewlyRegistered, m.RelocatedIn)
+		if dests := m.TopDestinations(3); len(dests) > 0 {
+			fmt.Printf("  top destinations:")
+			for _, d := range dests {
+				name := fmt.Sprintf("AS%d", d)
+				if p, ok := study.World.ProviderByASN(d); ok {
+					name = fmt.Sprintf("%s (AS%d)", p.Org, d)
+				}
+				fmt.Printf(" %s ×%d", name, m.OutDestinations[d])
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\nThe paper's conclusion holds in the simulation: exits were real but")
+	fmt.Println("far from existential — displaced domains quickly found new providers")
+	fmt.Println("(Sedo's parked portfolio largely moved to Serverel in the Netherlands),")
+	fmt.Println("and Google's \"relocations\" were mostly an intra-Google ASN shuffle.")
+}

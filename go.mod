@@ -1,0 +1,3 @@
+module whereru
+
+go 1.22

@@ -1,0 +1,196 @@
+// Package analysis implements the paper's analytical contribution: the
+// longitudinal classification of Russian domain infrastructure. Given the
+// measurement store (DNS sweeps), the geolocation database, the address
+// plan, the CT log, revocation state and scan archive, it regenerates
+// every figure and table in the paper:
+//
+//	Figure 1/5 — country composition of name-server infrastructure
+//	Figure 2   — TLD-dependency composition of delegations
+//	Figure 3   — top TLDs used by authoritative name servers
+//	Figure 4   — hosting-network (ASN) shares
+//	Figure 6/7 — domain movement between ASNs (Amazon, Sedo, …)
+//	Figure 8   — CA issuance-activity timelines
+//	Table 1    — issuance by period per CA
+//	Table 2    — revocation activity, overall vs sanctioned
+//	§4.3       — Russian Trusted Root CA impact
+package analysis
+
+import (
+	"whereru/internal/dns"
+	"whereru/internal/geo"
+	"whereru/internal/idn"
+	"whereru/internal/netsim"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+)
+
+// Composition classifies a domain's infrastructure against Russia: Full
+// means entirely inside, Non entirely outside, Part mixed. Unknown means
+// the measurement had no usable data (failed resolution, no records).
+type Composition int
+
+// Composition values.
+const (
+	CompUnknown Composition = iota
+	CompFull
+	CompPart
+	CompNon
+)
+
+// String names the composition the way the paper's figures do.
+func (c Composition) String() string {
+	switch c {
+	case CompFull:
+		return "Full Russian"
+	case CompPart:
+		return "Part Russian"
+	case CompNon:
+		return "Non Russian"
+	default:
+		return "Unknown"
+	}
+}
+
+// classifyFlags folds per-record membership into a composition.
+func classifyFlags(sawTarget, sawOther bool) Composition {
+	switch {
+	case sawTarget && sawOther:
+		return CompPart
+	case sawTarget:
+		return CompFull
+	case sawOther:
+		return CompNon
+	default:
+		return CompUnknown
+	}
+}
+
+// Analyzer binds the data sets the DNS analyses read.
+type Analyzer struct {
+	Store    *store.Store
+	Geo      *geo.DB
+	Internet *netsim.Internet
+}
+
+// Point is one day of a composition series (Figures 1, 2, 5).
+type Point struct {
+	Day     simtime.Day
+	Full    int
+	Part    int
+	Non     int
+	Unknown int
+	// Total is the number of measured domains that day (the figures'
+	// black "#names" curve).
+	Total int
+}
+
+// FullPct returns Full as a percentage of classified domains.
+func (p Point) FullPct() float64 { return pct(p.Full, p.classified()) }
+
+// PartPct returns Part as a percentage of classified domains.
+func (p Point) PartPct() float64 { return pct(p.Part, p.classified()) }
+
+// NonPct returns Non as a percentage of classified domains.
+func (p Point) NonPct() float64 { return pct(p.Non, p.classified()) }
+
+func (p Point) classified() int { return p.Full + p.Part + p.Non }
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+// Filter selects the domains an analysis runs over; nil selects all.
+type Filter func(domain string) bool
+
+// NSCompositionSeries computes Figure 1 (and, with a sanctioned-domain
+// filter, Figure 5): for each day, how many domains' authoritative name
+// servers geolocate fully/partially/not to Russia.
+func (a *Analyzer) NSCompositionSeries(days []simtime.Day, filter Filter) []Point {
+	return a.series(days, filter, func(day simtime.Day, cfg store.Config) Composition {
+		if cfg.Failed || len(cfg.NSAddrs) == 0 {
+			return CompUnknown
+		}
+		sawRU, sawOther := false, false
+		for _, addr := range cfg.NSAddrs {
+			if country, ok := a.Geo.Lookup(day, addr); ok && country == geo.RU {
+				sawRU = true
+			} else {
+				sawOther = true
+			}
+		}
+		return classifyFlags(sawRU, sawOther)
+	})
+}
+
+// HostingCompositionSeries classifies domains by where their apex A
+// records geolocate (§3.1's hosting breakdown).
+func (a *Analyzer) HostingCompositionSeries(days []simtime.Day, filter Filter) []Point {
+	return a.series(days, filter, func(day simtime.Day, cfg store.Config) Composition {
+		if cfg.Failed || len(cfg.ApexAddrs) == 0 {
+			return CompUnknown
+		}
+		sawRU, sawOther := false, false
+		for _, addr := range cfg.ApexAddrs {
+			if country, ok := a.Geo.Lookup(day, addr); ok && country == geo.RU {
+				sawRU = true
+			} else {
+				sawOther = true
+			}
+		}
+		return classifyFlags(sawRU, sawOther)
+	})
+}
+
+// TLDDependencySeries computes Figure 2: whether each domain's name
+// servers are registered entirely under Russian Federation TLDs (.ru,
+// .su, .рф), partially, or not at all.
+func (a *Analyzer) TLDDependencySeries(days []simtime.Day, filter Filter) []Point {
+	return a.series(days, filter, func(_ simtime.Day, cfg store.Config) Composition {
+		if cfg.Failed || len(cfg.NSHosts) == 0 {
+			return CompUnknown
+		}
+		sawRU, sawOther := false, false
+		for _, host := range cfg.NSHosts {
+			if isRussianTLD(dns.TLD(host)) {
+				sawRU = true
+			} else {
+				sawOther = true
+			}
+		}
+		return classifyFlags(sawRU, sawOther)
+	})
+}
+
+// isRussianTLD reports whether a TLD label belongs to the Russian
+// Federation (.ru, .рф as xn--p1ai, and legacy .su).
+func isRussianTLD(tld string) bool {
+	return tld == "ru" || tld == "su" || tld == idn.RFTLDASCII
+}
+
+func (a *Analyzer) series(days []simtime.Day, filter Filter, classify func(simtime.Day, store.Config) Composition) []Point {
+	out := make([]Point, 0, len(days))
+	for _, day := range days {
+		p := Point{Day: day}
+		a.Store.ForEachAt(day, func(domain string, cfg store.Config) {
+			if filter != nil && !filter(domain) {
+				return
+			}
+			p.Total++
+			switch classify(day, cfg) {
+			case CompFull:
+				p.Full++
+			case CompPart:
+				p.Part++
+			case CompNon:
+				p.Non++
+			default:
+				p.Unknown++
+			}
+		})
+		out = append(out, p)
+	}
+	return out
+}

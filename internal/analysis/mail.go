@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"sort"
+
+	"whereru/internal/dns"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+)
+
+// Mail-provider analysis (measurement extension). The paper's related
+// work (Liu et al., "Who's Got Your Mail?", IMC '21) groups domains by
+// the operator of their MX targets and shows Russia bucking the Western
+// mail-centralization trend with heavily domestic providers. With the
+// pipeline's CollectMX extension enabled, these analyses reproduce that
+// view for the .ru/.рф population.
+
+// MailSharePoint is one day of mail-provider shares: for each MX-target
+// zone (the mail operator's domain, e.g. "yandex.net."), the share of
+// domains-with-mail it serves.
+type MailSharePoint struct {
+	Day simtime.Day
+	// WithMail is the number of measured domains publishing any MX.
+	WithMail int
+	// Total is the number of measured domains.
+	Total int
+	// Counts maps MX-target zone to the number of domains it serves.
+	Counts map[string]int
+}
+
+// Share returns a mail zone's share of domains-with-mail, in percent.
+func (p MailSharePoint) Share(zone string) float64 { return pct(p.Counts[zone], p.WithMail) }
+
+// MXZone maps an MX host to its operator zone (the host minus its first
+// label): mx.yandex.net. → yandex.net.
+func MXZone(host string) string { return dns.Parent(dns.Canonical(host)) }
+
+// MailProviderSeries computes per-day mail-operator shares.
+func (a *Analyzer) MailProviderSeries(days []simtime.Day, filter Filter) []MailSharePoint {
+	out := make([]MailSharePoint, 0, len(days))
+	for _, day := range days {
+		p := MailSharePoint{Day: day, Counts: make(map[string]int)}
+		a.Store.ForEachAt(day, func(domain string, cfg store.Config) {
+			if filter != nil && !filter(domain) {
+				return
+			}
+			if cfg.Failed {
+				return
+			}
+			p.Total++
+			if len(cfg.MXHosts) == 0 {
+				return
+			}
+			p.WithMail++
+			seen := map[string]bool{}
+			for _, h := range cfg.MXHosts {
+				z := MXZone(h)
+				if !seen[z] {
+					seen[z] = true
+					p.Counts[z]++
+				}
+			}
+		})
+		out = append(out, p)
+	}
+	return out
+}
+
+// TopMailZones ranks mail-operator zones on the final day of a series.
+func TopMailZones(series []MailSharePoint, k int) []string {
+	if len(series) == 0 {
+		return nil
+	}
+	last := series[len(series)-1]
+	zones := make([]string, 0, len(last.Counts))
+	for z := range last.Counts {
+		zones = append(zones, z)
+	}
+	sort.Slice(zones, func(i, j int) bool {
+		if last.Counts[zones[i]] != last.Counts[zones[j]] {
+			return last.Counts[zones[i]] > last.Counts[zones[j]]
+		}
+		return zones[i] < zones[j]
+	})
+	if k > len(zones) {
+		k = len(zones)
+	}
+	return zones[:k]
+}
+
+// MailCompositionSeries classifies domains-with-mail by whether their MX
+// targets geolocate to Russia (via the NS-address trick does not apply;
+// MX targets are classified by operator-zone TLD as a proxy — the
+// Liu-et-al methodology groups by operator, and operator country is the
+// analyst's judgment; here Russian-TLD operator zones count as Russian).
+func (a *Analyzer) MailCompositionSeries(days []simtime.Day, filter Filter) []Point {
+	return a.series(days, filter, func(_ simtime.Day, cfg store.Config) Composition {
+		if cfg.Failed || len(cfg.MXHosts) == 0 {
+			return CompUnknown
+		}
+		sawRU, sawOther := false, false
+		for _, h := range cfg.MXHosts {
+			if isRussianTLD(dns.TLD(h)) {
+				sawRU = true
+			} else {
+				sawOther = true
+			}
+		}
+		return classifyFlags(sawRU, sawOther)
+	})
+}

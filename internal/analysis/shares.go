@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"sort"
+
+	"whereru/internal/dns"
+	"whereru/internal/netsim"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+)
+
+// TLDSharePoint is one day of Figure 3: for each TLD, the share of
+// domains that delegate to at least one name server under it. Shares
+// overlap (a domain with ns1.foo.ru and ns2.bar.com counts for both), so
+// they do not sum to 100%.
+type TLDSharePoint struct {
+	Day    simtime.Day
+	Total  int
+	Counts map[string]int
+}
+
+// Share returns the percentage of domains using the TLD that day.
+func (p TLDSharePoint) Share(tld string) float64 { return pct(p.Counts[tld], p.Total) }
+
+// TLDShareSeries computes Figure 3's underlying series for all TLDs.
+func (a *Analyzer) TLDShareSeries(days []simtime.Day, filter Filter) []TLDSharePoint {
+	out := make([]TLDSharePoint, 0, len(days))
+	for _, day := range days {
+		p := TLDSharePoint{Day: day, Counts: make(map[string]int)}
+		a.Store.ForEachAt(day, func(domain string, cfg store.Config) {
+			if filter != nil && !filter(domain) {
+				return
+			}
+			if cfg.Failed || len(cfg.NSHosts) == 0 {
+				return
+			}
+			p.Total++
+			seen := map[string]bool{}
+			for _, host := range cfg.NSHosts {
+				tld := dns.TLD(host)
+				if !seen[tld] {
+					seen[tld] = true
+					p.Counts[tld]++
+				}
+			}
+		})
+		out = append(out, p)
+	}
+	return out
+}
+
+// TopTLDs ranks TLDs by their share on the final day of the series
+// (how the paper picks its "Top 5 TLDs out of 270").
+func TopTLDs(series []TLDSharePoint, k int) []string {
+	if len(series) == 0 {
+		return nil
+	}
+	last := series[len(series)-1]
+	tlds := make([]string, 0, len(last.Counts))
+	for tld := range last.Counts {
+		tlds = append(tlds, tld)
+	}
+	sort.Slice(tlds, func(i, j int) bool {
+		ci, cj := last.Counts[tlds[i]], last.Counts[tlds[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return tlds[i] < tlds[j]
+	})
+	if k > len(tlds) {
+		k = len(tlds)
+	}
+	return tlds[:k]
+}
+
+// ASNSharePoint is one day of Figure 4: the share of domains whose apex
+// resolves into each hosting network.
+type ASNSharePoint struct {
+	Day    simtime.Day
+	Total  int
+	Counts map[netsim.ASN]int
+}
+
+// Share returns the percentage of domains hosted in the ASN that day.
+func (p ASNSharePoint) Share(asn netsim.ASN) float64 { return pct(p.Counts[asn], p.Total) }
+
+// ASNShareSeries computes Figure 4's series: per day, how many measured
+// domains have at least one apex A record originated by each ASN.
+func (a *Analyzer) ASNShareSeries(days []simtime.Day, filter Filter) []ASNSharePoint {
+	out := make([]ASNSharePoint, 0, len(days))
+	for _, day := range days {
+		p := ASNSharePoint{Day: day, Counts: make(map[netsim.ASN]int)}
+		a.Store.ForEachAt(day, func(domain string, cfg store.Config) {
+			if filter != nil && !filter(domain) {
+				return
+			}
+			if cfg.Failed {
+				return
+			}
+			p.Total++
+			seen := map[netsim.ASN]bool{}
+			for _, addr := range cfg.ApexAddrs {
+				if asn, ok := a.Internet.OriginAS(addr); ok && !seen[asn] {
+					seen[asn] = true
+					p.Counts[asn]++
+				}
+			}
+		})
+		out = append(out, p)
+	}
+	return out
+}
+
+// hostASNs returns the set of ASNs a config's apex addresses originate
+// from.
+func (a *Analyzer) hostASNs(cfg store.Config) map[netsim.ASN]bool {
+	out := make(map[netsim.ASN]bool, len(cfg.ApexAddrs))
+	for _, addr := range cfg.ApexAddrs {
+		if asn, ok := a.Internet.OriginAS(addr); ok {
+			out[asn] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"whereru/internal/world"
+)
+
+// tinyStudy runs a full collect at 1:20000 scale (≈585 domains) — small
+// enough for unit tests, large enough to exercise every code path.
+func tinyStudy(t *testing.T) *Study {
+	t.Helper()
+	opts := Options{World: world.Config{Seed: 5, Scale: 20000, RFShare: 0.1}, DenseStep: 7, CollectMX: true}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStudyLifecycle(t *testing.T) {
+	s := tinyStudy(t)
+	if len(s.Sweeps) == 0 || len(s.Stats) != len(s.Sweeps) {
+		t.Fatalf("sweeps=%d stats=%d", len(s.Sweeps), len(s.Stats))
+	}
+	if s.Store.NumDomains() == 0 {
+		t.Fatal("empty store after Collect")
+	}
+	if len(s.Archive.Days()) == 0 {
+		t.Fatal("no scan days recorded")
+	}
+	if s.Scale() != 20000 {
+		t.Fatalf("Scale = %d", s.Scale())
+	}
+}
+
+func TestRenderAllProducesEveryExperiment(t *testing.T) {
+	s := tinyStudy(t)
+	var buf bytes.Buffer
+	if err := s.RenderAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Figures 6-7", "Table 1", "Figure 8",
+		"Table 2", "Russian Trusted Root CA", "Paper vs measured",
+		"relocation latency", "market concentration", "mail operators",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestComparisonsCoverAllExperiments(t *testing.T) {
+	s := tinyStudy(t)
+	comps := s.Comparisons()
+	if len(comps) < 30 {
+		t.Fatalf("only %d comparison rows", len(comps))
+	}
+	groups := map[string]bool{}
+	for _, c := range comps {
+		groups[c.Experiment] = true
+		if c.Metric == "" || c.Paper == "" || c.Measured == "" {
+			t.Errorf("incomplete comparison: %+v", c)
+		}
+	}
+	for _, g := range []string{"Fig 1", "Fig 2", "Fig 3", "Fig 4", "Fig 5 / §3.3", "Fig 6", "Fig 7", "Tab 1", "Fig 8", "Tab 2", "§4.3", "§3.1 hosting"} {
+		if !groups[g] {
+			t.Errorf("missing experiment group %q (have %v)", g, groups)
+		}
+	}
+}
+
+func TestExperimentsMarkdown(t *testing.T) {
+	s := tinyStudy(t)
+	var buf bytes.Buffer
+	if err := s.ExperimentsMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	md := buf.String()
+	if !strings.HasPrefix(md, "# EXPERIMENTS") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(md, "| metric | paper | measured |") {
+		t.Error("missing table header")
+	}
+	if !strings.Contains(md, "73.9%") {
+		t.Error("missing paper target values")
+	}
+}
+
+func TestSaveStore(t *testing.T) {
+	s := tinyStudy(t)
+	var buf bytes.Buffer
+	if err := s.SaveStore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 1000 {
+		t.Fatalf("store blob suspiciously small: %d bytes", buf.Len())
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("WRST")) {
+		t.Error("store blob missing magic")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s, err := New(Options{World: world.Config{Seed: 1, Scale: 50000, RFShare: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Opts.DenseStep != 3 || s.Opts.Workers != 8 {
+		t.Errorf("defaults not applied: %+v", s.Opts)
+	}
+	if s.Opts.DenseFrom.String() != "2022-02-01" {
+		t.Errorf("DenseFrom default = %v", s.Opts.DenseFrom)
+	}
+	if _, err := New(Options{World: world.Config{Scale: 0}}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+type memFile struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (m *memFile) Close() error { m.closed = true; return nil }
+
+func TestExportCSV(t *testing.T) {
+	s := tinyStudy(t)
+	files := map[string]*memFile{}
+	err := s.ExportCSV(func(name string) (io.WriteCloser, error) {
+		f := &memFile{}
+		files[name] = f
+		return f, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig1_ns_composition.csv", "fig2_tld_dependency.csv",
+		"fig3_tld_shares.csv", "fig4_asn_shares.csv", "fig5_sanctioned.csv",
+	}
+	for _, name := range want {
+		f, ok := files[name]
+		if !ok {
+			t.Errorf("missing %s", name)
+			continue
+		}
+		if !f.closed {
+			t.Errorf("%s not closed", name)
+		}
+		lines := strings.Split(strings.TrimSpace(f.String()), "\n")
+		if len(lines) < 2 {
+			t.Errorf("%s has no data rows", name)
+		}
+		if !strings.Contains(lines[0], "day") {
+			t.Errorf("%s header = %q", name, lines[0])
+		}
+	}
+}

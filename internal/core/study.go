@@ -1,0 +1,134 @@
+// Package core is the top of the library: a Study wires the synthetic
+// world, the OpenINTEL-style collection pipeline, the CUIDS-style scans
+// and the analysis layer together, and regenerates every figure and table
+// of the paper with a paper-vs-measured comparison. cmd/whereru and the
+// examples are thin wrappers around this package.
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"whereru/internal/analysis"
+	"whereru/internal/openintel"
+	"whereru/internal/scan"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+	"whereru/internal/world"
+)
+
+// Options configures a Study.
+type Options struct {
+	// World configures the synthetic ecosystem (seed, scale).
+	World world.Config
+	// DenseFrom is when sweeps switch from monthly to dense (default
+	// 2022-02-01, matching the paper's analysis granularity).
+	DenseFrom simtime.Day
+	// DenseStep is the dense sweep interval in days (default 3).
+	DenseStep int
+	// Workers is the sweep concurrency (default 8).
+	Workers int
+	// CollectMX enables the mail-measurement extension (MX records are
+	// collected alongside NS/A, enabling the mail-concentration analyses).
+	CollectMX bool
+	// Progress, if non-nil, receives human-readable progress lines.
+	Progress func(format string, args ...any)
+}
+
+// DefaultOptions returns the full-fidelity configuration.
+func DefaultOptions() Options {
+	return Options{World: world.DefaultConfig(), DenseStep: 3, Workers: 8, CollectMX: true}
+}
+
+// QuickOptions returns a small, fast configuration (used by tests and the
+// quickstart example).
+func QuickOptions() Options {
+	return Options{World: world.TestConfig(), DenseStep: 3, Workers: 8, CollectMX: true}
+}
+
+// Study is one full reproduction run.
+type Study struct {
+	Opts     Options
+	World    *world.World
+	Store    *store.Store
+	Analyzer *analysis.Analyzer
+	Archive  *scan.Archive
+	// Sweeps are the measurement days collected.
+	Sweeps []simtime.Day
+	// Stats summarizes each sweep.
+	Stats []openintel.SweepStats
+}
+
+// New builds the world for a study.
+func New(opts Options) (*Study, error) {
+	if opts.DenseFrom == 0 {
+		opts.DenseFrom = simtime.Date(2022, 2, 1)
+	}
+	if opts.DenseStep <= 0 {
+		opts.DenseStep = 3
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+	}
+	if opts.Progress == nil {
+		opts.Progress = func(string, ...any) {}
+	}
+	if err := opts.World.Validate(); err != nil {
+		return nil, err
+	}
+	opts.Progress("building world (scale 1:%d, %d domains)...", opts.World.Scale, opts.World.NumDomains())
+	w, err := world.Build(opts.World)
+	if err != nil {
+		return nil, fmt.Errorf("core: building world: %w", err)
+	}
+	st := store.New()
+	return &Study{
+		Opts:     opts,
+		World:    w,
+		Store:    st,
+		Analyzer: &analysis.Analyzer{Store: st, Geo: w.Geo, Internet: w.Internet},
+		Archive:  scan.NewArchive(),
+	}, nil
+}
+
+// Collect runs the full measurement campaign: DNS sweeps over the study
+// window (monthly, then dense for 2022) and weekly TLS scans over the
+// Russian-CA window.
+func (s *Study) Collect(ctx context.Context) error {
+	s.Sweeps = openintel.Schedule(simtime.StudyStart, simtime.StudyEnd, s.Opts.DenseFrom, s.Opts.DenseStep)
+	pipe := &openintel.Pipeline{
+		Resolver:  s.World.NewResolver(),
+		Seeds:     s.World.Registries,
+		Clock:     s.World.Clock(),
+		Store:     s.Store,
+		Workers:   s.Opts.Workers,
+		CollectMX: s.Opts.CollectMX,
+	}
+	s.Opts.Progress("collecting %d DNS sweeps (%s .. %s)...", len(s.Sweeps), simtime.StudyStart, simtime.StudyEnd)
+	for i, day := range s.Sweeps {
+		stats, err := pipe.Sweep(ctx, day)
+		if err != nil {
+			return fmt.Errorf("core: sweep %s: %w", day, err)
+		}
+		s.Stats = append(s.Stats, stats)
+		if (i+1)%25 == 0 {
+			s.Opts.Progress("  sweep %d/%d done (%s: %d domains)", i+1, len(s.Sweeps), day, stats.Domains)
+		}
+	}
+	s.Opts.Progress("running TLS scans (%s .. %s, weekly)...", world.RussianCAStartDay, simtime.CTWindowEnd)
+	for d := world.RussianCAStartDay; d <= simtime.CTWindowEnd; d = d.Add(7) {
+		s.Archive.Record(d, s.World.Scanner.Sweep(d))
+	}
+	return nil
+}
+
+// SaveStore writes the measurement store to w (the on-disk interchange
+// format; see internal/store).
+func (s *Study) SaveStore(w io.Writer) error {
+	_, err := s.Store.WriteTo(w)
+	return err
+}
+
+// Scale returns the study's population scale divisor.
+func (s *Study) Scale() int { return s.Opts.World.Scale }

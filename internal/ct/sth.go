@@ -1,0 +1,78 @@
+package ct
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+)
+
+// Signed tree heads. A real CT log signs its tree heads with an ECDSA
+// key; auditors verify with the log's public key. The simulation keeps
+// the same trust topology with an HMAC-SHA256 over the head fields: the
+// log holds the key, verifiers are handed it out of band, and a forged or
+// tampered head fails verification. (The point here is the protocol
+// plumbing — gossiping and verifying heads — not public-key crypto.)
+
+// SignedTreeHead is a tree head with the log's signature.
+type SignedTreeHead struct {
+	TreeHead
+	LogID     [8]byte
+	Signature [sha256.Size]byte
+}
+
+// ErrNoKey is returned when signing is requested on a key-less log.
+var ErrNoKey = errors.New("ct: log has no signing key")
+
+// SetKey installs the log's signing key (any non-empty byte string) and
+// derives the log ID from it.
+func (l *Log) SetKey(key []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.key = append([]byte(nil), key...)
+}
+
+func headBytes(h TreeHead, logID [8]byte) []byte {
+	var b []byte
+	b = append(b, logID[:]...)
+	b = binary.BigEndian.AppendUint64(b, uint64(h.Size))
+	b = append(b, h.Root[:]...)
+	b = binary.BigEndian.AppendUint32(b, uint32(int32(h.Timestamp)))
+	return b
+}
+
+// logID derives a stable identifier from the key.
+func logID(key []byte) [8]byte {
+	sum := sha256.Sum256(append([]byte("whereru-log-id:"), key...))
+	var id [8]byte
+	copy(id[:], sum[:8])
+	return id
+}
+
+// SignedHead returns the current tree head, signed.
+func (l *Log) SignedHead() (SignedTreeHead, error) {
+	head := l.Head()
+	l.mu.RLock()
+	key := l.key
+	l.mu.RUnlock()
+	if len(key) == 0 {
+		return SignedTreeHead{}, ErrNoKey
+	}
+	sth := SignedTreeHead{TreeHead: head, LogID: logID(key)}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(headBytes(head, sth.LogID))
+	copy(sth.Signature[:], mac.Sum(nil))
+	return sth, nil
+}
+
+// VerifySignedHead checks a signed tree head against the log's key (held
+// by the auditor).
+func VerifySignedHead(sth SignedTreeHead, key []byte) bool {
+	if len(key) == 0 || logID(key) != sth.LogID {
+		return false
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(headBytes(sth.TreeHead, sth.LogID))
+	expect := mac.Sum(nil)
+	return hmac.Equal(expect, sth.Signature[:])
+}

@@ -1,0 +1,104 @@
+package dns
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+)
+
+func TestSetAndReadEDNS(t *testing.T) {
+	m := NewQuery(1, "example.ru.", TypeA)
+	if m.EDNSSize() != 0 {
+		t.Fatal("fresh query advertises EDNS")
+	}
+	m.SetEDNS(4096)
+	if got := m.EDNSSize(); got != 4096 {
+		t.Fatalf("EDNSSize = %d", got)
+	}
+	// Replacing, not duplicating.
+	m.SetEDNS(1232)
+	if got := m.EDNSSize(); got != 1232 {
+		t.Fatalf("EDNSSize after update = %d", got)
+	}
+	optCount := 0
+	for _, rr := range m.Additional {
+		if rr.Type == TypeOPT {
+			optCount++
+		}
+	}
+	if optCount != 1 {
+		t.Fatalf("OPT records = %d", optCount)
+	}
+	// Below-minimum sizes are clamped.
+	m.SetEDNS(100)
+	if got := m.EDNSSize(); got != 512 {
+		t.Fatalf("clamped EDNSSize = %d", got)
+	}
+}
+
+func TestEDNSWireRoundTrip(t *testing.T) {
+	m := NewQuery(7, "example.ru.", TypeA)
+	m.SetEDNS(1400)
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.EDNSSize(); got != 1400 {
+		t.Fatalf("EDNSSize after round trip = %d", got)
+	}
+	if TypeOPT.String() != "OPT" {
+		t.Error("OPT mnemonic missing")
+	}
+}
+
+func TestEDNSAvoidsTruncationOverUDP(t *testing.T) {
+	srv := &Server{Handler: bigAnswerHandler(60)} // ≈1 KiB response
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+	ctx := context.Background()
+
+	// Plain UDP: truncated.
+	plain := &UDPTransport{Port: int(addr.Port())}
+	resp, err := plain.Exchange(ctx, addr.Addr(), NewQuery(1, "big.ru.", TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Fatal("plain UDP not truncated")
+	}
+
+	// EDNS0 with a 4096-octet advertisement: full answer over UDP.
+	edns := &EDNSTransport{Transport: plain, UDPSize: 4096}
+	resp, err = edns.Exchange(ctx, addr.Addr(), NewQuery(2, "big.ru.", TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated {
+		t.Fatal("EDNS0 response still truncated")
+	}
+	if len(resp.Answers) != 60 {
+		t.Fatalf("answers = %d, want 60", len(resp.Answers))
+	}
+}
+
+func TestEDNSTransportDoesNotMutateQuery(t *testing.T) {
+	net := NewMemNet()
+	net.Bind(mustAddr("10.0.0.1"), HandlerFunc(func(q *Message, _ netip.Addr) *Message {
+		return q.Reply()
+	}))
+	q := NewQuery(5, "x.ru.", TypeA)
+	edns := &EDNSTransport{Transport: net}
+	if _, err := edns.Exchange(context.Background(), mustAddr("10.0.0.1"), q); err != nil {
+		t.Fatal(err)
+	}
+	if q.EDNSSize() != 0 {
+		t.Fatal("EDNSTransport mutated the caller's query")
+	}
+}

@@ -1,0 +1,65 @@
+package dns
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the wire parser with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode and re-decode to an
+// equivalent message (idempotent canonicalization).
+func FuzzDecode(f *testing.F) {
+	seed := sampleMessage()
+	wire, _ := seed.Encode()
+	f.Add(wire)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xC0}, 64)) // pointer spam
+	q := NewQuery(9, "пример.xn--p1ai.", TypeANY)
+	if w, err := q.Encode(); err == nil {
+		f.Add(w)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := m.Encode()
+		if err != nil {
+			// Messages with decoded-but-unencodable payloads (e.g. opaque
+			// RDATA carried as TXT) are acceptable; they must only fail
+			// cleanly.
+			return
+		}
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v", err)
+		}
+		re2, err := m2.Encode()
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("encoding not idempotent:\n%x\n%x", re, re2)
+		}
+	})
+}
+
+// FuzzName drives name canonicalization and wire encoding together.
+func FuzzName(f *testing.F) {
+	for _, s := range []string{"example.ru", ".", "xn--p1ai", "a.b.c.d.e.f", "UPPER.RU."} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		name := Canonical(s)
+		if !ValidName(name) {
+			return
+		}
+		b, err := appendName(nil, name)
+		if err != nil {
+			t.Fatalf("ValidName(%q) but appendName failed: %v", name, err)
+		}
+		if len(b) > 256 {
+			t.Fatalf("wire form of %q is %d octets", name, len(b))
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package dns
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Domain names throughout the package are held in canonical presentation
+// form: fully qualified, lowercase ASCII (IDN labels already in ACE form),
+// with a trailing root dot. The root itself is ".". Canonical form makes
+// names directly comparable with ==, usable as map keys, and sortable.
+
+// Canonical normalizes a presentation-form name: lowercases it and appends
+// the root dot if missing. It does not validate label lengths; use
+// ValidName for that.
+func Canonical(name string) string {
+	if name == "" || name == "." {
+		return "."
+	}
+	name = strings.ToLower(name)
+	if !strings.HasSuffix(name, ".") {
+		name += "."
+	}
+	return name
+}
+
+// ValidName reports whether name is a well-formed canonical domain name:
+// fully qualified, total length ≤ 255 octets in wire form, each label
+// 1–63 octets of printable ASCII.
+func ValidName(name string) bool {
+	if name == "." {
+		return true
+	}
+	if name == "" || !strings.HasSuffix(name, ".") {
+		return false
+	}
+	wire := 1 // terminal root byte
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return false
+		}
+		for i := 0; i < len(label); i++ {
+			c := label[i]
+			if c < '!' || c > '~' || c == '.' {
+				return false
+			}
+		}
+		wire += len(label) + 1
+	}
+	return wire <= 255
+}
+
+// Labels splits a canonical name into its labels, excluding the root.
+// Labels(".") is nil.
+func Labels(name string) []string {
+	if name == "." || name == "" {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(name, "."), ".")
+}
+
+// CountLabels returns the number of labels in a canonical name.
+func CountLabels(name string) int { return len(Labels(name)) }
+
+// Parent returns the name with its leftmost label removed;
+// Parent("example.ru.") is "ru.", Parent("ru.") is ".", Parent(".") is ".".
+func Parent(name string) string {
+	if name == "." || name == "" {
+		return "."
+	}
+	i := strings.IndexByte(name, '.')
+	if i < 0 || i == len(name)-1 {
+		return "."
+	}
+	return name[i+1:]
+}
+
+// TLD returns the rightmost label of a canonical name (without the root
+// dot), or "" for the root itself. TLD("ns1.example.com.") is "com".
+func TLD(name string) string {
+	labels := Labels(name)
+	if len(labels) == 0 {
+		return ""
+	}
+	return labels[len(labels)-1]
+}
+
+// IsSubdomain reports whether child is equal to or ends with parent
+// (both canonical). Every name is a subdomain of the root.
+func IsSubdomain(child, parent string) bool {
+	if parent == "." {
+		return true
+	}
+	if child == parent {
+		return true
+	}
+	return strings.HasSuffix(child, "."+parent)
+}
+
+// Join prepends a label to a canonical suffix: Join("ns1", "example.ru.")
+// is "ns1.example.ru.".
+func Join(label, suffix string) string {
+	if suffix == "." {
+		return label + "."
+	}
+	return label + "." + suffix
+}
+
+// appendName encodes a canonical name in uncompressed wire form.
+func appendName(b []byte, name string) ([]byte, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("dns: invalid name %q", name)
+	}
+	for _, label := range Labels(name) {
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0), nil
+}

@@ -1,0 +1,343 @@
+package dns
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// Resolver performs iterative resolution from the root, the way a
+// measurement platform does: no recursion is requested from servers;
+// referrals are followed, glue is used when present, and out-of-bailiwick
+// name-server names are resolved with bounded sub-queries.
+//
+// Two caches make zone sweeps affordable: a delegation cache (zone cut →
+// server addresses) and a host-address cache (name-server name → A
+// records). Both must be flushed between measurement days, since the
+// simulated world changes under the resolver (FlushCache).
+type Resolver struct {
+	Client *Client
+	// Roots are the root name-server addresses (hints).
+	Roots []netip.Addr
+	// MaxSteps bounds referral-following per query (default 30).
+	MaxSteps int
+	// MaxCNAME bounds alias chains (default 8).
+	MaxCNAME int
+	// Trace, when set, observes every resolution step (zone cut queried,
+	// server used, question, and outcome) — cmd/dnsdig's -trace output.
+	Trace func(step TraceStep)
+
+	mu        sync.RWMutex
+	zoneCache map[string][]netip.Addr // zone cut -> authoritative addrs
+	hostCache map[string][]netip.Addr // ns host -> addresses
+}
+
+// NewResolver builds a resolver over the transport with the given root hints.
+func NewResolver(t Transport, roots []netip.Addr) *Resolver {
+	return &Resolver{
+		Client:    NewClient(t),
+		Roots:     roots,
+		MaxSteps:  30,
+		MaxCNAME:  8,
+		zoneCache: make(map[string][]netip.Addr),
+		hostCache: make(map[string][]netip.Addr),
+	}
+}
+
+// FlushCache clears both caches. Call when the simulated date advances.
+func (r *Resolver) FlushCache() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.zoneCache = make(map[string][]netip.Addr)
+	r.hostCache = make(map[string][]netip.Addr)
+}
+
+// CacheStats reports cache sizes, for the ablation benchmarks.
+func (r *Resolver) CacheStats() (zones, hosts int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.zoneCache), len(r.hostCache)
+}
+
+// TraceStep is one hop of an iterative resolution.
+type TraceStep struct {
+	Zone     string
+	Server   netip.Addr
+	Question Question
+	// Referral is the child zone when the answer was a delegation, "".
+	Referral string
+	// RCode is the response code received.
+	RCode RCode
+	// Answers is the number of answer records returned.
+	Answers int
+}
+
+// Result is the outcome of an iterative resolution.
+type Result struct {
+	RCode   RCode
+	Answers []RR
+	// Chain records any CNAMEs followed, in order.
+	Chain []string
+	// Zone is the deepest zone cut that answered.
+	Zone string
+}
+
+// Resolution errors.
+var (
+	ErrResolutionFailed = errors.New("dns: resolution failed")
+	ErrLameDelegation   = errors.New("dns: lame delegation")
+	ErrCNAMELoop        = errors.New("dns: CNAME chain too long")
+)
+
+// Resolve iteratively resolves (name, qtype) and returns the final answer.
+// NXDOMAIN and NODATA are returned as Results with empty Answers, not errors;
+// errors mean the resolution process itself failed (no servers reachable,
+// lame delegations, loops).
+func (r *Resolver) Resolve(ctx context.Context, name string, qtype Type) (*Result, error) {
+	return r.resolve(ctx, Canonical(name), qtype, 0)
+}
+
+func (r *Resolver) resolve(ctx context.Context, name string, qtype Type, depth int) (*Result, error) {
+	if depth > 6 {
+		return nil, fmt.Errorf("%w: glue-chase depth exceeded for %s", ErrResolutionFailed, name)
+	}
+	result := &Result{Zone: "."}
+	qname := name
+	for cnames := 0; ; cnames++ {
+		if cnames > r.maxCNAME() {
+			return nil, fmt.Errorf("%w resolving %s", ErrCNAMELoop, name)
+		}
+		res, err := r.resolveNoCNAME(ctx, qname, qtype, depth)
+		if err != nil {
+			return nil, err
+		}
+		result.RCode = res.RCode
+		result.Zone = res.Zone
+		// Split CNAMEs from final answers.
+		var target string
+		for _, rr := range res.Answers {
+			if rr.Type == TypeCNAME && qtype != TypeCNAME {
+				target = rr.Data.(CNAMEData).Target
+			} else if rr.Type == qtype {
+				result.Answers = append(result.Answers, rr)
+			}
+		}
+		if len(result.Answers) > 0 || target == "" {
+			return result, nil
+		}
+		result.Chain = append(result.Chain, target)
+		qname = target
+	}
+}
+
+func (r *Resolver) maxCNAME() int {
+	if r.MaxCNAME <= 0 {
+		return 8
+	}
+	return r.MaxCNAME
+}
+
+func (r *Resolver) maxSteps() int {
+	if r.MaxSteps <= 0 {
+		return 30
+	}
+	return r.MaxSteps
+}
+
+// resolveNoCNAME walks referrals for one owner name without following
+// aliases (the caller does that).
+func (r *Resolver) resolveNoCNAME(ctx context.Context, name string, qtype Type, depth int) (*Result, error) {
+	servers, zone := r.deepestCached(name)
+	var lastErr error
+	for step := 0; step < r.maxSteps(); step++ {
+		if len(servers) == 0 {
+			return nil, fmt.Errorf("%w: no servers for %s at zone %s", ErrResolutionFailed, name, zone)
+		}
+		resp, usedServer, srvErr := r.queryAny(ctx, servers, name, qtype)
+		if srvErr != nil {
+			lastErr = srvErr
+			// All servers for this cut failed; if we started from cache,
+			// drop the entry and restart from the root once.
+			if zone != "." {
+				r.dropZone(zone)
+				servers, zone = r.Roots, "."
+				continue
+			}
+			return nil, fmt.Errorf("%w: querying %s: %v", ErrResolutionFailed, name, lastErr)
+		}
+		ts := TraceStep{Zone: zone, Server: usedServer, Question: Question{Name: name, Type: qtype, Class: ClassIN}, RCode: resp.RCode, Answers: len(resp.Answers)}
+		switch {
+		case resp.RCode == RCodeNXDomain:
+			r.trace(ts)
+			return &Result{RCode: RCodeNXDomain, Zone: zone}, nil
+		case resp.RCode != RCodeNoError:
+			return nil, fmt.Errorf("%w: %s from zone %s for %s", ErrResolutionFailed, resp.RCode, zone, name)
+		case len(resp.Answers) > 0:
+			r.trace(ts)
+			return &Result{RCode: RCodeNoError, Answers: resp.Answers, Zone: zone}, nil
+		}
+		// Referral?
+		var nsSet []RR
+		for _, rr := range resp.Authority {
+			if rr.Type == TypeNS {
+				nsSet = append(nsSet, rr)
+			}
+		}
+		if len(nsSet) == 0 {
+			// Authoritative NODATA.
+			if resp.Authoritative {
+				r.trace(ts)
+				return &Result{RCode: RCodeNoError, Zone: zone}, nil
+			}
+			return nil, fmt.Errorf("%w: dead end at zone %s for %s", ErrLameDelegation, zone, name)
+		}
+		childZone := nsSet[0].Name
+		ts.Referral = childZone
+		r.trace(ts)
+		if childZone == zone || !IsSubdomain(childZone, zone) {
+			return nil, fmt.Errorf("%w: referral from %s to %s", ErrLameDelegation, zone, childZone)
+		}
+		glue := make(map[string][]netip.Addr)
+		for _, rr := range resp.Additional {
+			if rr.Type == TypeA {
+				glue[rr.Name] = append(glue[rr.Name], rr.Data.(AData).Addr)
+			}
+		}
+		var next []netip.Addr
+		var needResolve []string
+		for _, ns := range nsSet {
+			host := ns.Data.(NSData).Host
+			if addrs := glue[host]; len(addrs) > 0 {
+				r.cacheHost(host, addrs)
+				next = append(next, addrs...)
+			} else {
+				needResolve = append(needResolve, host)
+			}
+		}
+		// Only chase glueless NS names if we have no glued ones — the
+		// common case in the simulation has at least one glued server.
+		if len(next) == 0 {
+			for _, host := range needResolve {
+				addrs, err := r.LookupHost(ctx, host, depth+1)
+				if err == nil && len(addrs) > 0 {
+					next = append(next, addrs...)
+					break
+				}
+				lastErr = err
+			}
+		}
+		if len(next) == 0 {
+			return nil, fmt.Errorf("%w: no reachable name servers for %s (last: %v)", ErrLameDelegation, childZone, lastErr)
+		}
+		r.cacheZone(childZone, next)
+		servers, zone = next, childZone
+	}
+	return nil, fmt.Errorf("%w: referral limit exceeded for %s", ErrResolutionFailed, name)
+}
+
+// queryAny tries each server until one answers, reporting which did.
+func (r *Resolver) queryAny(ctx context.Context, servers []netip.Addr, name string, qtype Type) (*Message, netip.Addr, error) {
+	var lastErr error
+	for _, s := range servers {
+		resp, err := r.Client.Query(ctx, s, name, qtype)
+		if err == nil {
+			return resp, s, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, netip.Addr{}, ctx.Err()
+		}
+	}
+	return nil, netip.Addr{}, lastErr
+}
+
+func (r *Resolver) trace(step TraceStep) {
+	if r.Trace != nil {
+		r.Trace(step)
+	}
+}
+
+// LookupHost resolves the A records for a host (used for name-server
+// addresses), consulting the host cache first.
+func (r *Resolver) LookupHost(ctx context.Context, host string, depth int) ([]netip.Addr, error) {
+	host = Canonical(host)
+	r.mu.RLock()
+	cached, ok := r.hostCache[host]
+	r.mu.RUnlock()
+	if ok {
+		return cached, nil
+	}
+	res, err := r.resolve(ctx, host, TypeA, depth)
+	if err != nil {
+		return nil, err
+	}
+	addrs := make([]netip.Addr, 0, len(res.Answers))
+	for _, rr := range res.Answers {
+		if rr.Type == TypeA {
+			addrs = append(addrs, rr.Data.(AData).Addr)
+		}
+	}
+	r.cacheHost(host, addrs)
+	return addrs, nil
+}
+
+// LookupA resolves A records for name, following CNAMEs.
+func (r *Resolver) LookupA(ctx context.Context, name string) ([]netip.Addr, error) {
+	res, err := r.Resolve(ctx, name, TypeA)
+	if err != nil {
+		return nil, err
+	}
+	addrs := make([]netip.Addr, 0, len(res.Answers))
+	for _, rr := range res.Answers {
+		if rr.Type == TypeA {
+			addrs = append(addrs, rr.Data.(AData).Addr)
+		}
+	}
+	return addrs, nil
+}
+
+// LookupNS resolves the NS set for name and returns the server names.
+func (r *Resolver) LookupNS(ctx context.Context, name string) ([]string, error) {
+	res, err := r.Resolve(ctx, name, TypeNS)
+	if err != nil {
+		return nil, err
+	}
+	hosts := make([]string, 0, len(res.Answers))
+	for _, rr := range res.Answers {
+		if rr.Type == TypeNS {
+			hosts = append(hosts, rr.Data.(NSData).Host)
+		}
+	}
+	return hosts, nil
+}
+
+func (r *Resolver) deepestCached(name string) ([]netip.Addr, string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for n := name; n != "."; n = Parent(n) {
+		if addrs, ok := r.zoneCache[n]; ok && len(addrs) > 0 {
+			return addrs, n
+		}
+	}
+	return r.Roots, "."
+}
+
+func (r *Resolver) cacheZone(zone string, addrs []netip.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.zoneCache[zone] = addrs
+}
+
+func (r *Resolver) dropZone(zone string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.zoneCache, zone)
+}
+
+func (r *Resolver) cacheHost(host string, addrs []netip.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hostCache[host] = addrs
+}

@@ -1,0 +1,342 @@
+package dns
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+)
+
+// buildTestInternet wires a tiny three-level hierarchy into a MemNet:
+// root → ru/com TLD servers → two authoritative providers, with a .ru
+// domain whose name server lives under .com (out-of-bailiwick, glueless).
+func buildTestInternet(t testing.TB) (*MemNet, []netip.Addr) {
+	t.Helper()
+	net := NewMemNet()
+	rootAddr := mustAddr("198.41.0.4")
+	ruTLD := mustAddr("193.232.128.6")
+	comTLD := mustAddr("192.5.6.30")
+	regRu := mustAddr("194.58.116.30")  // authoritative for reg.ru + customers
+	hostCom := mustAddr("172.64.32.99") // authoritative for hosting.com + customers
+
+	serve := func(build func(q Question, resp *Message)) Handler {
+		return HandlerFunc(func(q *Message, _ netip.Addr) *Message {
+			resp := q.Reply()
+			build(q.Questions[0], resp)
+			return resp
+		})
+	}
+
+	// Root: delegates ru. and com.
+	net.Bind(rootAddr, serve(func(q Question, resp *Message) {
+		switch {
+		case IsSubdomain(q.Name, "ru."):
+			resp.Authority = []RR{NewNS("ru.", 3600, "a.dns.ripn.net.")}
+			resp.Additional = []RR{NewA("a.dns.ripn.net.", 3600, ruTLD)}
+		case IsSubdomain(q.Name, "com."):
+			resp.Authority = []RR{NewNS("com.", 3600, "a.gtld-servers.net.")}
+			resp.Additional = []RR{NewA("a.gtld-servers.net.", 3600, comTLD)}
+		default:
+			resp.Authoritative = true
+			resp.RCode = RCodeNXDomain
+		}
+	}))
+
+	// .ru TLD: delegates example.ru (in-bailiwick NS, glued) and
+	// foreign.ru (NS under .com, glueless).
+	net.Bind(ruTLD, serve(func(q Question, resp *Message) {
+		switch {
+		case IsSubdomain(q.Name, "example.ru."):
+			resp.Authority = []RR{NewNS("example.ru.", 3600, "ns1.reg.ru.")}
+			resp.Additional = []RR{NewA("ns1.reg.ru.", 3600, regRu)}
+		case IsSubdomain(q.Name, "foreign.ru."):
+			resp.Authority = []RR{NewNS("foreign.ru.", 3600, "ns1.hosting.com.")}
+		case IsSubdomain(q.Name, "reg.ru."):
+			resp.Authority = []RR{NewNS("reg.ru.", 3600, "ns1.reg.ru.")}
+			resp.Additional = []RR{NewA("ns1.reg.ru.", 3600, regRu)}
+		case q.Name == "ru." && q.Type == TypeSOA:
+			resp.Authoritative = true
+			resp.Answers = []RR{NewSOA("ru.", "a.dns.ripn.net.", "hostmaster.ripn.net.", 1)}
+		default:
+			resp.Authoritative = true
+			resp.RCode = RCodeNXDomain
+			resp.Authority = []RR{NewSOA("ru.", "a.dns.ripn.net.", "hostmaster.ripn.net.", 1)}
+		}
+	}))
+
+	// .com TLD: delegates hosting.com.
+	net.Bind(comTLD, serve(func(q Question, resp *Message) {
+		if IsSubdomain(q.Name, "hosting.com.") {
+			resp.Authority = []RR{NewNS("hosting.com.", 3600, "ns1.hosting.com.")}
+			resp.Additional = []RR{NewA("ns1.hosting.com.", 3600, hostCom)}
+			return
+		}
+		resp.Authoritative = true
+		resp.RCode = RCodeNXDomain
+	}))
+
+	// reg.ru authoritative: example.ru apex + its own NS names.
+	net.Bind(regRu, serve(func(q Question, resp *Message) {
+		resp.Authoritative = true
+		switch {
+		case q.Name == "example.ru." && q.Type == TypeA:
+			resp.Answers = []RR{NewA("example.ru.", 300, mustAddr("194.58.117.5"))}
+		case q.Name == "example.ru." && q.Type == TypeNS:
+			resp.Answers = []RR{NewNS("example.ru.", 300, "ns1.reg.ru.")}
+		case q.Name == "www.example.ru." && q.Type == TypeA:
+			resp.Answers = []RR{
+				NewCNAME("www.example.ru.", 300, "example.ru."),
+				NewA("example.ru.", 300, mustAddr("194.58.117.5")),
+			}
+		case q.Name == "ns1.reg.ru." && q.Type == TypeA:
+			resp.Answers = []RR{NewA("ns1.reg.ru.", 300, regRu)}
+		case q.Name == "empty.example.ru.":
+			// authoritative NODATA
+		default:
+			resp.RCode = RCodeNXDomain
+		}
+	}))
+
+	// hosting.com authoritative: foreign.ru apex + ns1.hosting.com.
+	net.Bind(hostCom, serve(func(q Question, resp *Message) {
+		resp.Authoritative = true
+		switch {
+		case q.Name == "foreign.ru." && q.Type == TypeA:
+			resp.Answers = []RR{NewA("foreign.ru.", 300, mustAddr("172.64.33.1"))}
+		case q.Name == "foreign.ru." && q.Type == TypeNS:
+			resp.Answers = []RR{NewNS("foreign.ru.", 300, "ns1.hosting.com.")}
+		case q.Name == "ns1.hosting.com." && q.Type == TypeA:
+			resp.Answers = []RR{NewA("ns1.hosting.com.", 300, hostCom)}
+		default:
+			resp.RCode = RCodeNXDomain
+		}
+	}))
+
+	return net, []netip.Addr{rootAddr}
+}
+
+func TestIterativeResolution(t *testing.T) {
+	net, roots := buildTestInternet(t)
+	r := NewResolver(net, roots)
+	ctx := context.Background()
+
+	addrs, err := r.LookupA(ctx, "example.ru.")
+	if err != nil {
+		t.Fatalf("LookupA(example.ru.): %v", err)
+	}
+	if len(addrs) != 1 || addrs[0] != mustAddr("194.58.117.5") {
+		t.Fatalf("LookupA(example.ru.) = %v", addrs)
+	}
+
+	hosts, err := r.LookupNS(ctx, "example.ru.")
+	if err != nil {
+		t.Fatalf("LookupNS: %v", err)
+	}
+	if len(hosts) != 1 || hosts[0] != "ns1.reg.ru." {
+		t.Fatalf("LookupNS = %v", hosts)
+	}
+}
+
+func TestGluelessOutOfBailiwickResolution(t *testing.T) {
+	net, roots := buildTestInternet(t)
+	r := NewResolver(net, roots)
+	addrs, err := r.LookupA(context.Background(), "foreign.ru.")
+	if err != nil {
+		t.Fatalf("LookupA(foreign.ru.): %v", err)
+	}
+	if len(addrs) != 1 || addrs[0] != mustAddr("172.64.33.1") {
+		t.Fatalf("LookupA(foreign.ru.) = %v", addrs)
+	}
+}
+
+func TestCNAMEChainResolution(t *testing.T) {
+	net, roots := buildTestInternet(t)
+	r := NewResolver(net, roots)
+	res, err := r.Resolve(context.Background(), "www.example.ru.", TypeA)
+	if err != nil {
+		t.Fatalf("Resolve(www): %v", err)
+	}
+	if len(res.Answers) != 1 || res.Answers[0].Data.(AData).Addr != mustAddr("194.58.117.5") {
+		t.Fatalf("CNAME answers = %v", res.Answers)
+	}
+}
+
+func TestNXDomainAndNodata(t *testing.T) {
+	net, roots := buildTestInternet(t)
+	r := NewResolver(net, roots)
+	ctx := context.Background()
+	res, err := r.Resolve(ctx, "nosuch.example.ru.", TypeA)
+	if err != nil {
+		t.Fatalf("Resolve NXDOMAIN: %v", err)
+	}
+	if res.RCode != RCodeNXDomain || len(res.Answers) != 0 {
+		t.Fatalf("want NXDOMAIN, got %v %v", res.RCode, res.Answers)
+	}
+	res, err = r.Resolve(ctx, "empty.example.ru.", TypeA)
+	if err != nil {
+		t.Fatalf("Resolve NODATA: %v", err)
+	}
+	if res.RCode != RCodeNoError || len(res.Answers) != 0 {
+		t.Fatalf("want NODATA, got %v %v", res.RCode, res.Answers)
+	}
+}
+
+func TestDelegationCacheSpeedsSecondQuery(t *testing.T) {
+	net, roots := buildTestInternet(t)
+	var queries int
+	net.SetTap(func(netip.Addr, *Message) { queries++ })
+	r := NewResolver(net, roots)
+	ctx := context.Background()
+	if _, err := r.LookupA(ctx, "example.ru."); err != nil {
+		t.Fatal(err)
+	}
+	first := queries
+	if _, err := r.LookupA(ctx, "example.ru."); err != nil {
+		t.Fatal(err)
+	}
+	second := queries - first
+	if second >= first {
+		t.Errorf("cache ineffective: first=%d second=%d queries", first, second)
+	}
+	zones, hosts := r.CacheStats()
+	if zones == 0 || hosts == 0 {
+		t.Errorf("caches empty after resolution: zones=%d hosts=%d", zones, hosts)
+	}
+	r.FlushCache()
+	zones, hosts = r.CacheStats()
+	if zones != 0 || hosts != 0 {
+		t.Error("FlushCache left entries behind")
+	}
+}
+
+func TestUnreachableServerFailsOver(t *testing.T) {
+	net, roots := buildTestInternet(t)
+	r := NewResolver(net, roots)
+	r.Client.Retries = 0
+	ctx := context.Background()
+	// Prime the cache, then take the authoritative down; resolution must
+	// fall back to the root and ultimately fail cleanly (not hang).
+	if _, err := r.LookupA(ctx, "example.ru."); err != nil {
+		t.Fatal(err)
+	}
+	net.SetUnreachable(mustAddr("194.58.116.30"), true)
+	r.FlushCache()
+	if _, err := r.LookupA(ctx, "example.ru."); err == nil {
+		t.Fatal("resolution succeeded with authoritative down")
+	}
+	net.SetUnreachable(mustAddr("194.58.116.30"), false)
+	if _, err := r.LookupA(ctx, "example.ru."); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+}
+
+func TestResolveOverUDP(t *testing.T) {
+	// The same hierarchy, but the root is reached over a real UDP socket:
+	// MemNet handlers behind a UDP front door via Server.
+	memnet, roots := buildTestInternet(t)
+	srv := &Server{Handler: HandlerFunc(func(q *Message, from netip.Addr) *Message {
+		// A miniature recursive proxy: resolve via the in-memory Internet.
+		r := NewResolver(memnet, roots)
+		resp, err := r.Resolve(context.Background(), q.Questions[0].Name, q.Questions[0].Type)
+		out := q.Reply()
+		if err != nil {
+			out.RCode = RCodeServFail
+			return out
+		}
+		out.RCode = resp.RCode
+		out.Answers = resp.Answers
+		out.RecursionAvailable = true
+		return out
+	})}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	addrPort := srv.Addr()
+	client := NewClient(&UDPTransport{Port: int(addrPort.Port())})
+	resp, err := client.Query(context.Background(), addrPort.Addr(), "example.ru.", TypeA)
+	if err != nil {
+		t.Fatalf("UDP query: %v", err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Data.(AData).Addr != mustAddr("194.58.117.5") {
+		t.Fatalf("UDP answers = %v", resp.Answers)
+	}
+}
+
+func TestMemNetNoRoute(t *testing.T) {
+	net := NewMemNet()
+	c := NewClient(net)
+	c.Retries = 0
+	_, err := c.Query(context.Background(), mustAddr("10.9.9.9"), "x.ru.", TypeA)
+	if err == nil {
+		t.Fatal("query to unbound address succeeded")
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	net := NewMemNet()
+	c := NewClient(net)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Query(ctx, mustAddr("10.0.0.1"), "x.ru.", TypeA); err == nil {
+		t.Fatal("cancelled query succeeded")
+	}
+}
+
+func BenchmarkResolveWithCache(b *testing.B) {
+	net, roots := buildTestInternet(b)
+	r := NewResolver(net, roots)
+	ctx := context.Background()
+	if _, err := r.LookupA(ctx, "example.ru."); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.LookupA(ctx, "example.ru."); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolveNoCache(b *testing.B) {
+	net, roots := buildTestInternet(b)
+	r := NewResolver(net, roots)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.FlushCache()
+		if _, err := r.LookupA(ctx, "example.ru."); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestResolverTrace(t *testing.T) {
+	net, roots := buildTestInternet(t)
+	r := NewResolver(net, roots)
+	var steps []TraceStep
+	r.Trace = func(s TraceStep) { steps = append(steps, s) }
+	if _, err := r.LookupA(context.Background(), "example.ru."); err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) < 3 {
+		t.Fatalf("trace too short: %+v", steps)
+	}
+	// First hop: the root refers to ru.
+	if steps[0].Zone != "." || steps[0].Referral != "ru." {
+		t.Errorf("first step = %+v, want root → ru.", steps[0])
+	}
+	// Final hop: an authoritative answer.
+	last := steps[len(steps)-1]
+	if last.Answers == 0 || last.Referral != "" {
+		t.Errorf("final step = %+v, want an answer", last)
+	}
+	// Tracing is optional: nil Trace must not break resolution.
+	r.Trace = nil
+	r.FlushCache()
+	if _, err := r.LookupA(context.Background(), "example.ru."); err != nil {
+		t.Fatal(err)
+	}
+}

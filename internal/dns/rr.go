@@ -1,0 +1,201 @@
+package dns
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// RR is a DNS resource record. Name is canonical; Data holds the typed
+// RDATA. The Type field must agree with the dynamic type of Data; the
+// constructors below guarantee this.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// String renders the record in zone-file presentation format.
+func (rr RR) String() string {
+	return fmt.Sprintf("%s\t%d\t%s\t%s\t%s", rr.Name, rr.TTL, rr.Class, rr.Type, rr.Data.String())
+}
+
+// RData is the typed payload of a resource record.
+type RData interface {
+	// String renders the RDATA in presentation format.
+	String() string
+	// appendWire appends the RDATA in wire format. Name compression is
+	// deliberately not applied inside RDATA (RFC 3597 forbids it for new
+	// types and it buys little for NS/CNAME in small messages).
+	appendWire(b []byte) ([]byte, error)
+}
+
+// AData is an IPv4 address record payload.
+type AData struct{ Addr netip.Addr }
+
+// String implements RData.
+func (d AData) String() string { return d.Addr.String() }
+
+func (d AData) appendWire(b []byte) ([]byte, error) {
+	if !d.Addr.Is4() {
+		return nil, fmt.Errorf("dns: A record with non-IPv4 address %v", d.Addr)
+	}
+	a4 := d.Addr.As4()
+	return append(b, a4[:]...), nil
+}
+
+// AAAAData is an IPv6 address record payload.
+type AAAAData struct{ Addr netip.Addr }
+
+// String implements RData.
+func (d AAAAData) String() string { return d.Addr.String() }
+
+func (d AAAAData) appendWire(b []byte) ([]byte, error) {
+	if !d.Addr.Is6() || d.Addr.Is4In6() {
+		return nil, fmt.Errorf("dns: AAAA record with non-IPv6 address %v", d.Addr)
+	}
+	a16 := d.Addr.As16()
+	return append(b, a16[:]...), nil
+}
+
+// NSData names an authoritative server for the owner name.
+type NSData struct{ Host string }
+
+// String implements RData.
+func (d NSData) String() string { return d.Host }
+
+func (d NSData) appendWire(b []byte) ([]byte, error) { return appendName(b, d.Host) }
+
+// CNAMEData is an alias record payload.
+type CNAMEData struct{ Target string }
+
+// String implements RData.
+func (d CNAMEData) String() string { return d.Target }
+
+func (d CNAMEData) appendWire(b []byte) ([]byte, error) { return appendName(b, d.Target) }
+
+// SOAData is a start-of-authority payload.
+type SOAData struct {
+	MName   string // primary name server
+	RName   string // responsible mailbox
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// String implements RData.
+func (d SOAData) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d", d.MName, d.RName, d.Serial, d.Refresh, d.Retry, d.Expire, d.Minimum)
+}
+
+func (d SOAData) appendWire(b []byte) ([]byte, error) {
+	b, err := appendName(b, d.MName)
+	if err != nil {
+		return nil, err
+	}
+	b, err = appendName(b, d.RName)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range [5]uint32{d.Serial, d.Refresh, d.Retry, d.Expire, d.Minimum} {
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return b, nil
+}
+
+// MXData is a mail-exchanger payload.
+type MXData struct {
+	Preference uint16
+	Host       string
+}
+
+// String implements RData.
+func (d MXData) String() string { return fmt.Sprintf("%d %s", d.Preference, d.Host) }
+
+func (d MXData) appendWire(b []byte) ([]byte, error) {
+	b = append(b, byte(d.Preference>>8), byte(d.Preference))
+	return appendName(b, d.Host)
+}
+
+// TXTData is a text payload of one or more character-strings.
+type TXTData struct{ Strings []string }
+
+// String implements RData.
+func (d TXTData) String() string {
+	quoted := make([]string, len(d.Strings))
+	for i, s := range d.Strings {
+		quoted[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(quoted, " ")
+}
+
+func (d TXTData) appendWire(b []byte) ([]byte, error) {
+	if len(d.Strings) == 0 {
+		return nil, fmt.Errorf("dns: TXT record with no strings")
+	}
+	for _, s := range d.Strings {
+		if len(s) > 255 {
+			return nil, fmt.Errorf("dns: TXT character-string exceeds 255 octets")
+		}
+		b = append(b, byte(len(s)))
+		b = append(b, s...)
+	}
+	return b, nil
+}
+
+// NewA builds an A record.
+func NewA(name string, ttl uint32, addr netip.Addr) RR {
+	return RR{Name: Canonical(name), Type: TypeA, Class: ClassIN, TTL: ttl, Data: AData{addr}}
+}
+
+// NewAAAA builds an AAAA record.
+func NewAAAA(name string, ttl uint32, addr netip.Addr) RR {
+	return RR{Name: Canonical(name), Type: TypeAAAA, Class: ClassIN, TTL: ttl, Data: AAAAData{addr}}
+}
+
+// NewNS builds an NS record.
+func NewNS(name string, ttl uint32, host string) RR {
+	return RR{Name: Canonical(name), Type: TypeNS, Class: ClassIN, TTL: ttl, Data: NSData{Canonical(host)}}
+}
+
+// NewCNAME builds a CNAME record.
+func NewCNAME(name string, ttl uint32, target string) RR {
+	return RR{Name: Canonical(name), Type: TypeCNAME, Class: ClassIN, TTL: ttl, Data: CNAMEData{Canonical(target)}}
+}
+
+// NewSOA builds an SOA record with conventional timer values.
+func NewSOA(name, mname, rname string, serial uint32) RR {
+	return RR{Name: Canonical(name), Type: TypeSOA, Class: ClassIN, TTL: 3600, Data: SOAData{
+		MName: Canonical(mname), RName: Canonical(rname), Serial: serial,
+		Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 3600,
+	}}
+}
+
+// NewMX builds an MX record.
+func NewMX(name string, ttl uint32, pref uint16, host string) RR {
+	return RR{Name: Canonical(name), Type: TypeMX, Class: ClassIN, TTL: ttl, Data: MXData{pref, Canonical(host)}}
+}
+
+// NewTXT builds a TXT record.
+func NewTXT(name string, ttl uint32, strings ...string) RR {
+	return RR{Name: Canonical(name), Type: TypeTXT, Class: ClassIN, TTL: ttl, Data: TXTData{strings}}
+}
+
+// SortRRs orders records deterministically (by name, type, then rendered
+// RDATA); useful for comparing answer sets in tests and storage.
+func SortRRs(rrs []RR) {
+	sort.Slice(rrs, func(i, j int) bool {
+		if rrs[i].Name != rrs[j].Name {
+			return rrs[i].Name < rrs[j].Name
+		}
+		if rrs[i].Type != rrs[j].Type {
+			return rrs[i].Type < rrs[j].Type
+		}
+		return rrs[i].Data.String() < rrs[j].Data.String()
+	})
+}

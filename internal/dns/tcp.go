@@ -1,0 +1,195 @@
+package dns
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// DNS over TCP (RFC 1035 §4.2.2): each message is preceded by a two-octet
+// length field. TCP is the fallback path when a UDP response arrives
+// truncated (TC bit), and the only path for responses beyond 512 octets
+// in this classic (EDNS0-less) implementation.
+
+// TCPTransport exchanges queries over TCP with the RFC 1035 framing.
+type TCPTransport struct {
+	Port    int
+	Timeout time.Duration
+}
+
+// Exchange implements Transport.
+func (t *TCPTransport) Exchange(ctx context.Context, server netip.Addr, query *Message) (*Message, error) {
+	port := t.Port
+	if port == 0 {
+		port = 53
+	}
+	timeout := t.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	wire, err := query.Encode()
+	if err != nil {
+		return nil, err
+	}
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", netip.AddrPortFrom(server, uint16(port)).String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := writeTCPMessage(conn, wire); err != nil {
+		return nil, err
+	}
+	respWire, err := readTCPMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := Decode(respWire)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != query.ID {
+		return nil, ErrIDMismatch
+	}
+	return resp, nil
+}
+
+func writeTCPMessage(w io.Writer, wire []byte) error {
+	if len(wire) > maxMsgSize {
+		return fmt.Errorf("dns: message too large for TCP framing (%d)", len(wire))
+	}
+	var frame [2]byte
+	binary.BigEndian.PutUint16(frame[:], uint16(len(wire)))
+	if _, err := w.Write(frame[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(wire)
+	return err
+}
+
+func readTCPMessage(r io.Reader) ([]byte, error) {
+	var frame [2]byte
+	if _, err := io.ReadFull(r, frame[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(frame[:])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// FallbackTransport retries a truncated response over a second transport,
+// the way stub resolvers fall back from UDP to TCP.
+type FallbackTransport struct {
+	// Primary is usually UDP; Fallback usually TCP.
+	Primary  Transport
+	Fallback Transport
+}
+
+// Exchange implements Transport.
+func (t *FallbackTransport) Exchange(ctx context.Context, server netip.Addr, query *Message) (*Message, error) {
+	resp, err := t.Primary.Exchange(ctx, server, query)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Truncated || t.Fallback == nil {
+		return resp, nil
+	}
+	return t.Fallback.Exchange(ctx, server, query)
+}
+
+// ListenTCP starts serving the handler over TCP on addr ("127.0.0.1:0"
+// for an ephemeral port), alongside any UDP listener. TCP responses are
+// never truncated.
+func (s *Server) ListenTCP(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("dns: server already closed")
+	}
+	s.tcpLn = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// TCPAddr returns the TCP listener address, valid after ListenTCP.
+func (s *Server) TCPAddr() netip.AddrPort {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tcpLn == nil {
+		return netip.AddrPort{}
+	}
+	return s.tcpLn.Addr().(*net.TCPAddr).AddrPort()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	var connWG sync.WaitGroup
+	defer connWG.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		connWG.Add(1)
+		go func() {
+			defer connWG.Done()
+			defer conn.Close()
+			s.serveTCPConn(conn)
+		}()
+	}
+}
+
+// serveTCPConn handles queries on one connection until EOF or error; TCP
+// connections may carry multiple queries (RFC 7766).
+func (s *Server) serveTCPConn(conn net.Conn) {
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+			return
+		}
+		wire, err := readTCPMessage(conn)
+		if err != nil {
+			return
+		}
+		query, err := Decode(wire)
+		if err != nil || query.Response {
+			return // junk on a TCP stream: drop the connection
+		}
+		raddr := netip.AddrPort{}
+		if tcp, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+			raddr = tcp.AddrPort()
+		}
+		resp := s.Handler.ServeDNS(query, raddr.Addr())
+		if resp == nil {
+			return
+		}
+		out, err := resp.Encode()
+		if err != nil {
+			return
+		}
+		if err := writeTCPMessage(conn, out); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package dns
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+// bigAnswerHandler returns n A records for any query — enough to exceed
+// the 512-octet UDP limit when n is large.
+func bigAnswerHandler(n int) Handler {
+	return HandlerFunc(func(q *Message, _ netip.Addr) *Message {
+		resp := q.Reply()
+		resp.Authoritative = true
+		for i := 0; i < n; i++ {
+			resp.Answers = append(resp.Answers, NewA(q.Questions[0].Name, 60,
+				netip.AddrFrom4([4]byte{10, 0, byte(i / 256), byte(i % 256)})))
+		}
+		return resp
+	})
+}
+
+func TestTCPExchange(t *testing.T) {
+	srv := &Server{Handler: bigAnswerHandler(3)}
+	if err := srv.ListenTCP("127.0.0.1:0"); err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	defer srv.Close()
+	addr := srv.TCPAddr()
+	client := NewClient(&TCPTransport{Port: int(addr.Port())})
+	resp, err := client.Query(context.Background(), addr.Addr(), "example.ru.", TypeA)
+	if err != nil {
+		t.Fatalf("TCP query: %v", err)
+	}
+	if len(resp.Answers) != 3 {
+		t.Fatalf("answers = %d", len(resp.Answers))
+	}
+}
+
+func TestTCPMultipleQueriesPerConnection(t *testing.T) {
+	srv := &Server{Handler: bigAnswerHandler(1)}
+	if err := srv.ListenTCP("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.TCPAddr()
+	tr := &TCPTransport{Port: int(addr.Port())}
+	ctx := context.Background()
+	// The transport opens one connection per exchange; issue several
+	// sequential exchanges to exercise the accept loop repeatedly.
+	for i := 0; i < 5; i++ {
+		q := NewQuery(uint16(100+i), fmt.Sprintf("q%d.ru.", i), TypeA)
+		resp, err := tr.Exchange(ctx, addr.Addr(), q)
+		if err != nil {
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+		if resp.ID != q.ID {
+			t.Fatalf("ID mismatch on exchange %d", i)
+		}
+	}
+}
+
+func TestUDPTruncationSetsTC(t *testing.T) {
+	srv := &Server{Handler: bigAnswerHandler(60)} // ≈ 60×16 octets ≫ 512
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+	udp := &UDPTransport{Port: int(addr.Port())}
+	resp, err := udp.Exchange(context.Background(), addr.Addr(), NewQuery(7, "big.ru.", TypeA))
+	if err != nil {
+		t.Fatalf("UDP query: %v", err)
+	}
+	if !resp.Truncated {
+		t.Fatal("oversized UDP response not truncated")
+	}
+	if len(resp.Answers) != 0 {
+		t.Fatalf("truncated response carries %d answers", len(resp.Answers))
+	}
+}
+
+func TestFallbackTransportRetriesOverTCP(t *testing.T) {
+	h := bigAnswerHandler(60)
+	srv := &Server{Handler: h}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	// TCP on its own ephemeral port.
+	if err := srv.ListenTCP("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	fallback := &FallbackTransport{
+		Primary:  &UDPTransport{Port: int(srv.Addr().Port())},
+		Fallback: &TCPTransport{Port: int(srv.TCPAddr().Port())},
+	}
+	client := NewClient(fallback)
+	resp, err := client.Query(context.Background(), srv.Addr().Addr(), "big.ru.", TypeA)
+	if err != nil {
+		t.Fatalf("fallback query: %v", err)
+	}
+	if resp.Truncated {
+		t.Fatal("fallback still truncated")
+	}
+	if len(resp.Answers) != 60 {
+		t.Fatalf("answers = %d, want 60 via TCP", len(resp.Answers))
+	}
+}
+
+func TestFallbackWithoutSecondaryReturnsTruncated(t *testing.T) {
+	srv := &Server{Handler: bigAnswerHandler(60)}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ft := &FallbackTransport{Primary: &UDPTransport{Port: int(srv.Addr().Port())}}
+	resp, err := ft.Exchange(context.Background(), srv.Addr().Addr(), NewQuery(9, "x.ru.", TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Fatal("expected the truncated response to pass through")
+	}
+}
+
+func TestTCPFramingRejectsOversize(t *testing.T) {
+	var sb strings.Builder
+	if err := writeTCPMessage(&sb, make([]byte, maxMsgSize+1)); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestTCPAddrBeforeListen(t *testing.T) {
+	srv := &Server{Handler: bigAnswerHandler(1)}
+	if srv.TCPAddr().IsValid() {
+		t.Fatal("TCPAddr valid before ListenTCP")
+	}
+	if srv.Addr().IsValid() {
+		t.Fatal("Addr valid before Listen")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close of never-listened server: %v", err)
+	}
+	if err := srv.ListenTCP("127.0.0.1:0"); err == nil {
+		t.Fatal("ListenTCP after Close succeeded")
+	}
+}
+
+func BenchmarkTCPExchange(b *testing.B) {
+	srv := &Server{Handler: bigAnswerHandler(2)}
+	if err := srv.ListenTCP("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	tr := &TCPTransport{Port: int(srv.TCPAddr().Port())}
+	ctx := context.Background()
+	q := NewQuery(1, "bench.ru.", TypeA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Exchange(ctx, srv.TCPAddr().Addr(), q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

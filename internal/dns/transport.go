@@ -1,0 +1,235 @@
+package dns
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Transport exchanges one DNS query with the server at addr and returns
+// its response. Implementations: UDPTransport speaks real RFC 1035 UDP on
+// the host network; MemNet short-circuits to in-process handlers, which is
+// what makes multi-million-query measurement sweeps affordable.
+type Transport interface {
+	Exchange(ctx context.Context, server netip.Addr, query *Message) (*Message, error)
+}
+
+// Handler answers DNS queries, in the manner of http.Handler.
+type Handler interface {
+	ServeDNS(q *Message, from netip.Addr) *Message
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(q *Message, from netip.Addr) *Message
+
+// ServeDNS implements Handler.
+func (f HandlerFunc) ServeDNS(q *Message, from netip.Addr) *Message { return f(q, from) }
+
+// Errors surfaced by transports.
+var (
+	// ErrNoRoute means no server is bound at the target address (the
+	// in-memory analog of an ICMP unreachable / timeout).
+	ErrNoRoute = errors.New("dns: no server at address")
+	// ErrIDMismatch means the response ID did not match the query.
+	ErrIDMismatch = errors.New("dns: response ID mismatch")
+)
+
+// MemNet is an in-memory "Internet": a routing table from server address
+// to handler. Exchange serializes the query and deserializes the response
+// through the real codec, so everything above the socket layer behaves
+// identically to UDP. MemNet is safe for concurrent use; binds are
+// expected to be rare relative to exchanges.
+type MemNet struct {
+	mu       sync.RWMutex
+	handlers map[netip.Addr]Handler
+	// Unreachable marks addresses that drop queries (used to simulate
+	// outages such as Netnod withdrawing service).
+	unreachable map[netip.Addr]bool
+	// WireTaps observe every exchanged query (e.g. for counting).
+	tap func(server netip.Addr, q *Message)
+}
+
+// NewMemNet returns an empty in-memory network.
+func NewMemNet() *MemNet {
+	return &MemNet{
+		handlers:    make(map[netip.Addr]Handler),
+		unreachable: make(map[netip.Addr]bool),
+	}
+}
+
+// Bind attaches a handler to an address, replacing any previous binding.
+func (m *MemNet) Bind(addr netip.Addr, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[addr] = h
+}
+
+// Unbind removes the handler at addr.
+func (m *MemNet) Unbind(addr netip.Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.handlers, addr)
+}
+
+// SetUnreachable marks or clears an address as dropping all queries.
+func (m *MemNet) SetUnreachable(addr netip.Addr, down bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.unreachable[addr] = down
+}
+
+// SetTap installs a function observing every exchange (nil to remove).
+func (m *MemNet) SetTap(tap func(server netip.Addr, q *Message)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tap = tap
+}
+
+// Exchange implements Transport. The query is round-tripped through the
+// wire codec to keep the in-memory path faithful to the UDP path.
+func (m *MemNet) Exchange(ctx context.Context, server netip.Addr, query *Message) (*Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	h := m.handlers[server]
+	down := m.unreachable[server]
+	tap := m.tap
+	m.mu.RUnlock()
+	if tap != nil {
+		tap(server, query)
+	}
+	if down || h == nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoRoute, server)
+	}
+	wire, err := query.Encode()
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := Decode(wire)
+	if err != nil {
+		return nil, err
+	}
+	resp := h.ServeDNS(decoded, netip.AddrFrom4([4]byte{127, 0, 0, 1}))
+	if resp == nil {
+		return nil, fmt.Errorf("%w: handler returned no response", ErrNoRoute)
+	}
+	respWire, err := resp.Encode()
+	if err != nil {
+		return nil, err
+	}
+	out, err := Decode(respWire)
+	if err != nil {
+		return nil, err
+	}
+	if out.ID != query.ID {
+		return nil, ErrIDMismatch
+	}
+	return out, nil
+}
+
+// UDPTransport exchanges queries over real UDP sockets. Port is the
+// destination port (53 by default; the simulated servers listen on an
+// ephemeral port, so tests inject it).
+type UDPTransport struct {
+	Port    int
+	Timeout time.Duration
+}
+
+// Exchange implements Transport over UDP with a single datagram
+// round-trip; retries are the Client's job.
+func (t *UDPTransport) Exchange(ctx context.Context, server netip.Addr, query *Message) (*Message, error) {
+	port := t.Port
+	if port == 0 {
+		port = 53
+	}
+	timeout := t.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	wire, err := query.Encode()
+	if err != nil {
+		return nil, err
+	}
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "udp", netip.AddrPortFrom(server, uint16(port)).String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, maxMsgSize)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := Decode(buf[:n])
+		if err != nil {
+			// Garbled datagram: keep listening until the deadline.
+			continue
+		}
+		if resp.ID != query.ID {
+			continue // stray or spoofed response
+		}
+		return resp, nil
+	}
+}
+
+// Client issues queries over a Transport with ID generation and
+// bounded retransmission.
+type Client struct {
+	Transport Transport
+	// Retries is the number of re-sends after the first attempt.
+	Retries int
+	// rng guards ID generation.
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient returns a client over the given transport.
+func NewClient(t Transport) *Client {
+	return &Client{Transport: t, Retries: 2, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}
+
+func (c *Client) nextID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return uint16(c.rng.Intn(1 << 16))
+}
+
+// Query sends a single question to server and returns the response.
+func (c *Client) Query(ctx context.Context, server netip.Addr, name string, qtype Type) (*Message, error) {
+	q := NewQuery(c.nextID(), name, qtype)
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		resp, err := c.Transport.Exchange(ctx, server, q)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// Fresh ID per retransmission, as real resolvers do.
+		q.ID = c.nextID()
+	}
+	return nil, fmt.Errorf("dns: query %s %s @%v failed: %w", name, qtype, server, lastErr)
+}

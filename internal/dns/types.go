@@ -1,0 +1,110 @@
+// Package dns implements the subset of the DNS protocol the reproduction
+// needs to behave like a real active-measurement platform: the RFC 1035
+// wire format (with name compression), resource records for A, AAAA, NS,
+// CNAME, SOA, MX and TXT, a query client with retransmission, an
+// authoritative server framework with pluggable transports (real UDP and an
+// in-memory loopback for large sweeps), and an iterative resolver that
+// walks delegations from the root exactly the way OpenINTEL's measurement
+// pipeline does.
+package dns
+
+import "fmt"
+
+// Type is a DNS resource record type code (RFC 1035 §3.2.2).
+type Type uint16
+
+// Record types used by the measurement pipeline.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	// TypeANY is the QTYPE "*" (RFC 1035 §3.2.3); query-only.
+	TypeANY Type = 255
+)
+
+// Note: TypeOPT (41, EDNS0) is defined in edns.go.
+
+var typeNames = map[Type]string{
+	TypeA:     "A",
+	TypeNS:    "NS",
+	TypeCNAME: "CNAME",
+	TypeSOA:   "SOA",
+	TypeMX:    "MX",
+	TypeTXT:   "TXT",
+	TypeAAAA:  "AAAA",
+	TypeOPT:   "OPT",
+	TypeANY:   "ANY",
+}
+
+// String returns the mnemonic for t, or "TYPEn" for unknown codes
+// (RFC 3597 notation).
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// ParseType maps a mnemonic back to its code.
+func ParseType(s string) (Type, bool) {
+	for t, name := range typeNames {
+		if name == s {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// Class is a DNS class code. Only IN is used in practice.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// String returns the mnemonic for c.
+func (c Class) String() string {
+	if c == ClassIN {
+		return "IN"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// RCode is a DNS response code (RFC 1035 §4.1.1).
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+var rcodeNames = map[RCode]string{
+	RCodeNoError:  "NOERROR",
+	RCodeFormErr:  "FORMERR",
+	RCodeServFail: "SERVFAIL",
+	RCodeNXDomain: "NXDOMAIN",
+	RCodeNotImp:   "NOTIMP",
+	RCodeRefused:  "REFUSED",
+}
+
+// String returns the mnemonic for rc.
+func (rc RCode) String() string {
+	if s, ok := rcodeNames[rc]; ok {
+		return s
+	}
+	return fmt.Sprintf("RCODE%d", uint8(rc))
+}
+
+// Opcode is a DNS operation code. Only QUERY is implemented.
+type Opcode uint8
+
+// OpcodeQuery is a standard query.
+const OpcodeQuery Opcode = 0

@@ -1,0 +1,48 @@
+package zone_test
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"whereru/internal/dns"
+	"whereru/internal/dns/zone"
+)
+
+// ExampleZone shows authoritative lookup semantics: answers, referrals
+// with glue, and NXDOMAIN.
+func ExampleZone() {
+	z := zone.New("ru.")
+	z.Add(dns.NewA("direct.ru.", 300, netip.MustParseAddr("77.88.55.60")))
+	z.Add(dns.NewNS("delegated.ru.", 3600, "ns1.delegated.ru."))
+	z.Add(dns.NewA("ns1.delegated.ru.", 3600, netip.MustParseAddr("11.0.0.1")))
+
+	ans := z.Query("direct.ru.", dns.TypeA)
+	fmt.Println("answer:", ans.Answers[0].Data)
+
+	ref := z.Query("www.delegated.ru.", dns.TypeA)
+	fmt.Println("referral to:", ref.Authority[0].Data, "glue:", ref.Additional[0].Data)
+
+	nx := z.Query("missing.ru.", dns.TypeA)
+	fmt.Println("missing:", nx.RCode)
+	// Output:
+	// answer: 77.88.55.60
+	// referral to: ns1.delegated.ru. glue: 11.0.0.1
+	// missing: NXDOMAIN
+}
+
+// ExampleParse round-trips a zone through the master-file format.
+func ExampleParse() {
+	text := `$ORIGIN ru.
+ru. 3600 IN SOA a.tld.ru. hostmaster.ru. 1 7200 900 1209600 3600
+example.ru. 3600 IN NS ns1.example.ru.
+ns1.example.ru. 3600 IN A 11.0.0.1
+`
+	z, err := zone.Parse(strings.NewReader(text))
+	if err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	fmt.Println(z.Origin, z.Size(), "records")
+	// Output: ru. 3 records
+}

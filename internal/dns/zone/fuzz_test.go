@@ -1,0 +1,34 @@
+package zone
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the zone-file parser: no panics, and
+// anything accepted must survive a serialize → parse round trip with the
+// same record count.
+func FuzzParse(f *testing.F) {
+	f.Add("$ORIGIN ru.\nx.ru. 60 IN A 1.2.3.4\n")
+	f.Add("$ORIGIN ru.\nru. 3600 IN SOA a. b. 1 2 3 4 5\nx.ru. 60 IN NS ns1.x.ru.\n")
+	f.Add("; comment only\n")
+	f.Add("$ORIGIN xn--p1ai.\nxn--80a.xn--p1ai. 60 IN TXT \"hi there\"\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		z, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := z.WriteTo(&buf); err != nil {
+			t.Fatalf("serialize of parsed zone failed: %v", err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+		}
+		if back.Size() != z.Size() {
+			t.Fatalf("record count changed: %d → %d", z.Size(), back.Size())
+		}
+	})
+}

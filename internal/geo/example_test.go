@@ -1,0 +1,25 @@
+package geo_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"whereru/internal/geo"
+	"whereru/internal/simtime"
+)
+
+// ExampleDB shows date-aware geolocation: the same address answers
+// differently before and after a snapshot boundary (space that "moved").
+func ExampleDB() {
+	db := geo.NewDB()
+	prefix := netip.MustParsePrefix("11.5.0.0/16")
+	cut := simtime.Date(2022, 3, 3)
+	db.Snapshot(simtime.Date(2017, 1, 1), geo.NewBuilder().Add(prefix, geo.SE))
+	db.Snapshot(cut, geo.NewBuilder().Add(prefix, geo.RU))
+
+	addr := netip.MustParseAddr("11.5.9.9")
+	before, _ := db.Lookup(cut.Add(-1), addr)
+	after, _ := db.Lookup(cut, addr)
+	fmt.Println(before, "→", after)
+	// Output: SE → RU
+}

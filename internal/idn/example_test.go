@@ -1,0 +1,26 @@
+package idn_test
+
+import (
+	"fmt"
+
+	"whereru/internal/idn"
+)
+
+func ExampleToASCII() {
+	ascii, _ := idn.ToASCII("пример.рф")
+	fmt.Println(ascii)
+	fmt.Println(idn.ToUnicode(ascii))
+	// Output:
+	// xn--e1afmkfd.xn--p1ai
+	// пример.рф
+}
+
+func ExampleEncodeLabel() {
+	enc, _ := idn.EncodeLabel("рф")
+	fmt.Println(enc)
+	dec, _ := idn.DecodeLabel("xn--p1ai")
+	fmt.Println(dec)
+	// Output:
+	// xn--p1ai
+	// рф
+}

@@ -1,0 +1,59 @@
+package idn
+
+import "testing"
+
+// FuzzDecodeLabel feeds arbitrary ACE labels to the punycode decoder: no
+// panics, and every successful decode must re-encode to an equivalent
+// (case-normalized) label.
+func FuzzDecodeLabel(f *testing.F) {
+	for _, s := range []string{"xn--p1ai", "xn--e1afmkfd", "xn--", "plain", "xn--999999"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		dec, err := DecodeLabel(s)
+		if err != nil {
+			return
+		}
+		if dec == s {
+			return // ASCII passthrough
+		}
+		re, err := EncodeLabel(dec)
+		if err != nil {
+			t.Fatalf("decoded %q to %q but re-encode failed: %v", s, dec, err)
+		}
+		back, err := DecodeLabel(re)
+		if err != nil || back != dec {
+			t.Fatalf("round trip unstable: %q → %q → %q → %q (%v)", s, dec, re, back, err)
+		}
+	})
+}
+
+// FuzzEncodeLabel feeds arbitrary Unicode labels to the encoder.
+func FuzzEncodeLabel(f *testing.F) {
+	for _, s := range []string{"рф", "пример", "mixed-ascii-и-кириллица", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		enc, err := EncodeLabel(s)
+		if err != nil {
+			return
+		}
+		dec, err := DecodeLabel(enc)
+		if err != nil {
+			t.Fatalf("EncodeLabel(%q) = %q, but decode failed: %v", s, enc, err)
+		}
+		// Valid UTF-8 inputs must round-trip exactly.
+		if validUTF8(s) && dec != s {
+			t.Fatalf("round trip: %q → %q → %q", s, enc, dec)
+		}
+	})
+}
+
+func validUTF8(s string) bool {
+	for _, r := range s {
+		if r == 0xFFFD {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,157 @@
+package idn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRFTLD(t *testing.T) {
+	// The headline case for this codebase: .рф must encode to xn--p1ai.
+	enc, err := EncodeLabel("рф")
+	if err != nil {
+		t.Fatalf("EncodeLabel(рф): %v", err)
+	}
+	if enc != "xn--p1ai" {
+		t.Fatalf("EncodeLabel(рф) = %q, want xn--p1ai", enc)
+	}
+	dec, err := DecodeLabel("xn--p1ai")
+	if err != nil {
+		t.Fatalf("DecodeLabel(xn--p1ai): %v", err)
+	}
+	if dec != "рф" {
+		t.Fatalf("DecodeLabel(xn--p1ai) = %q, want рф", dec)
+	}
+}
+
+func TestRFC3492Vectors(t *testing.T) {
+	// Selected test vectors from RFC 3492 §7.1.
+	cases := []struct {
+		unicode string
+		ascii   string
+	}{
+		{"ليهمابتكلموشعربي؟", "xn--egbpdaj6bu4bxfgehfvwxn"},
+		{"他们为什么不说中文", "xn--ihqwcrb4cv8a8dqg056pqjye"},
+		{"Pročprostěnemluvíčesky", "xn--Proprostnemluvesky-uyb24dma41a"},
+		{"почемужеонинеговорятпорусски", "xn--b1abfaaepdrnnbgefbadotcwatmq2g4l"},
+		{"PorquénopuedensimplementehablarenEspañol", "xn--PorqunopuedensimplementehablarenEspaol-fmd56a"},
+		{"3年B組金八先生", "xn--3B-ww4c5e180e575a65lsy2b"},
+		{"-> $1.00 <-", "-> $1.00 <-"},
+	}
+	for _, c := range cases {
+		got, err := EncodeLabel(c.unicode)
+		if err != nil {
+			t.Errorf("EncodeLabel(%q): %v", c.unicode, err)
+			continue
+		}
+		if !strings.EqualFold(got, c.ascii) {
+			t.Errorf("EncodeLabel(%q) = %q, want %q", c.unicode, got, c.ascii)
+		}
+		back, err := DecodeLabel(got)
+		if err != nil {
+			t.Errorf("DecodeLabel(%q): %v", got, err)
+			continue
+		}
+		if back != c.unicode {
+			t.Errorf("DecodeLabel(%q) = %q, want %q", got, back, c.unicode)
+		}
+	}
+}
+
+func TestToASCII(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"пример.рф", "xn--e1afmkfd.xn--p1ai"},
+		{"пример.рф.", "xn--e1afmkfd.xn--p1ai."},
+		{"example.ru", "example.ru"},
+		{"EXAMPLE.RU", "example.ru"},
+		{"банк.example.ru", "xn--80ab2al.example.ru"},
+		{".", "."},
+		{"", ""},
+	}
+	for _, c := range cases {
+		got, err := ToASCII(c.in)
+		if err != nil {
+			t.Errorf("ToASCII(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ToASCII(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestToASCIIErrors(t *testing.T) {
+	if _, err := ToASCII("a..b.ru"); err == nil {
+		t.Error("ToASCII with empty label should fail")
+	}
+	long := strings.Repeat("я", 64)
+	if _, err := ToASCII(long + ".ru"); err == nil {
+		t.Error("ToASCII with >63-octet encoded label should fail")
+	}
+}
+
+func TestToUnicode(t *testing.T) {
+	if got := ToUnicode("xn--e1afmkfd.xn--p1ai"); got != "пример.рф" {
+		t.Errorf("ToUnicode = %q", got)
+	}
+	if got := ToUnicode("xn--e1afmkfd.xn--p1ai."); got != "пример.рф." {
+		t.Errorf("ToUnicode with root dot = %q", got)
+	}
+	if got := ToUnicode("example.ru"); got != "example.ru" {
+		t.Errorf("ToUnicode ascii passthrough = %q", got)
+	}
+	// Invalid ACE labels are preserved rather than dropped.
+	if got := ToUnicode("xn--!!!.ru"); got != "xn--!!!.ru" {
+		t.Errorf("ToUnicode invalid = %q", got)
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	for _, s := range []string{"xn--\x80abc", "xn--999999999b", "xn--ab!cd"} {
+		if _, err := DecodeLabel(s); err == nil {
+			t.Errorf("DecodeLabel(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Any string of Cyrillic + ASCII letters must round-trip.
+	alphabet := []rune("abcdzабвгдежзиклмнопрстуфхцчшщыэюярф")
+	f := func(seed []byte) bool {
+		if len(seed) == 0 || len(seed) > 20 {
+			return true
+		}
+		runes := make([]rune, len(seed))
+		for i, b := range seed {
+			runes[i] = alphabet[int(b)%len(alphabet)]
+		}
+		label := string(runes)
+		enc, err := EncodeLabel(label)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeLabel(enc)
+		return err == nil && dec == label
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeLabel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeLabel("российскаяфедерация"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeLabel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeLabel("xn--p1ai"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

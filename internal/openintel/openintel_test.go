@@ -1,0 +1,165 @@
+package openintel
+
+import (
+	"context"
+	"testing"
+
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+	"whereru/internal/world"
+)
+
+func buildPipeline(t testing.TB, scale int) (*Pipeline, *world.World) {
+	t.Helper()
+	w, err := world.Build(world.Config{Seed: 3, Scale: scale, RFShare: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Pipeline{
+		Resolver: w.NewResolver(),
+		Seeds:    w.Registries,
+		Clock:    w.Clock(),
+		Store:    store.New(),
+		Workers:  4,
+	}, w
+}
+
+func TestSweepMeasuresActiveZone(t *testing.T) {
+	p, w := buildPipeline(t, 20000)
+	day := simtime.ConflictStart
+	stats, err := p.Sweep(context.Background(), day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.ActiveDomains(day)
+	if stats.Domains != want {
+		t.Fatalf("swept %d domains, registry has %d active", stats.Domains, want)
+	}
+	if stats.Failed != 0 {
+		t.Errorf("%d failures in a healthy world", stats.Failed)
+	}
+	if p.Store.NumDomains() != want {
+		t.Fatalf("store has %d domains, want %d", p.Store.NumDomains(), want)
+	}
+	// Every stored measurement must have NS data.
+	p.Store.ForEachAt(day, func(domain string, cfg store.Config) {
+		if len(cfg.NSHosts) == 0 || len(cfg.NSAddrs) == 0 {
+			t.Errorf("%s measured with empty NS data: %+v", domain, cfg)
+		}
+		if len(cfg.ApexAddrs) == 0 {
+			t.Errorf("%s has no apex addresses", domain)
+		}
+	})
+}
+
+func TestSweepTracksZoneChanges(t *testing.T) {
+	p, w := buildPipeline(t, 20000)
+	ctx := context.Background()
+	early := simtime.StudyStart
+	late := simtime.StudyEnd
+	s1, err := p.Sweep(ctx, early)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Sweep(ctx, late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Domains == s2.Domains && w.ActiveDomains(early) != w.ActiveDomains(late) {
+		t.Error("sweeps did not follow registry churn")
+	}
+	sweeps := p.Store.Sweeps()
+	if len(sweeps) != 2 || sweeps[0] != early || sweeps[1] != late {
+		t.Fatalf("recorded sweeps = %v", sweeps)
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	p, _ := buildPipeline(t, 20000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Sweep(ctx, simtime.StudyStart); err == nil {
+		t.Fatal("cancelled sweep succeeded")
+	}
+}
+
+func TestOutageRecordsFailures(t *testing.T) {
+	p, w := buildPipeline(t, 20000)
+	day := simtime.MustParse("2021-03-22") // the paper's footnote-8 outage
+	w.SetOutage(day, true)
+	stats, err := p.Sweep(context.Background(), day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != stats.Domains {
+		t.Fatalf("outage sweep: %d/%d failed, want all", stats.Failed, stats.Domains)
+	}
+	w.SetOutage(day, false)
+	stats, err = p.Sweep(context.Background(), day.Add(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != 0 {
+		t.Fatalf("post-outage sweep still failing: %d", stats.Failed)
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	days := Schedule(simtime.StudyStart, simtime.StudyEnd, simtime.Date(2022, 2, 1), 3)
+	if days[0] != simtime.StudyStart {
+		t.Fatalf("first day = %v", days[0])
+	}
+	if days[len(days)-1] != simtime.StudyEnd {
+		t.Fatalf("last day = %v", days[len(days)-1])
+	}
+	// Monotonic, unique.
+	monthly, dense := 0, 0
+	for i := 1; i < len(days); i++ {
+		if days[i] <= days[i-1] {
+			t.Fatalf("schedule not increasing at %d: %v then %v", i, days[i-1], days[i])
+		}
+		if days[i] < simtime.Date(2022, 2, 1) {
+			monthly++
+		} else {
+			dense++
+		}
+	}
+	if monthly < 50 {
+		t.Errorf("monthly sweeps = %d, want ≈ 55", monthly)
+	}
+	if dense < 30 {
+		t.Errorf("dense sweeps = %d, want ≈ 38", dense)
+	}
+	// The Netnod cutoff day must land on a sweep (dense step 3 from Feb 1).
+	found := false
+	for _, d := range days {
+		if d == simtime.Date(2022, 3, 3) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("2022-03-03 missing from the dense schedule")
+	}
+	// Degenerate step defaults to 1.
+	one := Schedule(0, 5, 0, 0)
+	if len(one) != 6 {
+		t.Errorf("degenerate schedule = %v", one)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := SweepStats{Day: simtime.MustParse("2022-02-24"), Domains: 10, Failed: 1, NXDomain: 2}
+	want := "2022-02-24: 10 domains, 1 failed, 2 nxdomain"
+	if s.String() != want {
+		t.Errorf("String = %q, want %q", s.String(), want)
+	}
+}
+
+func TestRunStopsOnError(t *testing.T) {
+	p, _ := buildPipeline(t, 20000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(ctx, []simtime.Day{simtime.StudyStart, simtime.StudyEnd}); err == nil {
+		t.Fatal("Run with cancelled context succeeded")
+	}
+}

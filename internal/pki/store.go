@@ -1,0 +1,138 @@
+package pki
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"whereru/internal/simtime"
+)
+
+// Store is the simulation's ground-truth certificate corpus: every
+// certificate ever issued, with per-CA revocation lists. The CT log and
+// the IP-wide scanner each observe (different) subsets of the store, the
+// way Censys's CT index and CUIDS relate to reality.
+type Store struct {
+	mu       sync.RWMutex
+	bySerial map[uint64]*Certificate
+	byIssuer map[string][]*Certificate
+	crls     map[string]*CRL
+	ordered  []*Certificate // in issuance order
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		bySerial: make(map[uint64]*Certificate),
+		byIssuer: make(map[string][]*Certificate),
+		crls:     make(map[string]*CRL),
+	}
+}
+
+// Add records an issued certificate and tracks it on its CA's CRL.
+func (s *Store) Add(c *Certificate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.bySerial[c.Serial]; dup {
+		return fmt.Errorf("pki: duplicate serial %d", c.Serial)
+	}
+	s.bySerial[c.Serial] = c
+	s.byIssuer[c.IssuerOrg] = append(s.byIssuer[c.IssuerOrg], c)
+	s.ordered = append(s.ordered, c)
+	crl, ok := s.crls[c.IssuerOrg]
+	if !ok {
+		crl = NewCRL(c.IssuerOrg)
+		s.crls[c.IssuerOrg] = crl
+	}
+	crl.Track(c.Serial)
+	return nil
+}
+
+// Get returns the certificate with the given serial.
+func (s *Store) Get(serial uint64) (*Certificate, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.bySerial[serial]
+	return c, ok
+}
+
+// Len returns the number of stored certificates.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ordered)
+}
+
+// Revoke marks a serial revoked on its issuer's CRL.
+func (s *Store) Revoke(serial uint64, day simtime.Day, reason RevocationReason) error {
+	s.mu.RLock()
+	c, ok := s.bySerial[serial]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("pki: revoke of unknown serial %d", serial)
+	}
+	s.CRL(c.IssuerOrg).Revoke(serial, day, reason)
+	return nil
+}
+
+// CRL returns (creating if needed) the revocation list for a CA.
+func (s *Store) CRL(issuerOrg string) *CRL {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	crl, ok := s.crls[issuerOrg]
+	if !ok {
+		crl = NewCRL(issuerOrg)
+		s.crls[issuerOrg] = crl
+	}
+	return crl
+}
+
+// Issuers returns all issuer organizations seen, sorted.
+func (s *Store) Issuers() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byIssuer))
+	for org := range s.byIssuer {
+		out = append(out, org)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByIssuer returns the certificates issued by org, in issuance order.
+func (s *Store) ByIssuer(org string) []*Certificate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Certificate(nil), s.byIssuer[org]...)
+}
+
+// All returns every certificate in issuance order.
+func (s *Store) All() []*Certificate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Certificate(nil), s.ordered...)
+}
+
+// Select returns certificates matching the predicate, in issuance order.
+func (s *Store) Select(pred func(*Certificate) bool) []*Certificate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Certificate
+	for _, c := range s.ordered {
+		if pred(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Status answers an OCSP query against the issuing CA's state.
+func (s *Store) Status(serial uint64, day simtime.Day) OCSPStatus {
+	s.mu.RLock()
+	c, ok := s.bySerial[serial]
+	s.mu.RUnlock()
+	if !ok {
+		return OCSPUnknown
+	}
+	return s.CRL(c.IssuerOrg).Status(serial, day)
+}

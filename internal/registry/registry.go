@@ -1,0 +1,196 @@
+// Package registry models TLD registries: the registration lifecycle of
+// domain names and the daily zone snapshots that seed the measurement
+// pipeline (the paper uses daily .ru/.рф zone files as the inventory of
+// names to measure), plus a whois view exposing creation dates (the
+// paper's Cisco Whois Domain API analog, used to separate newly registered
+// domains from relocated ones in the §3.4 provider case studies).
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"whereru/internal/dns"
+	"whereru/internal/simtime"
+)
+
+// Domain is one registered name and its lifecycle.
+type Domain struct {
+	// Name is canonical ("example.ru.").
+	Name string
+	// Created is the registration date.
+	Created simtime.Day
+	// Removed is the deletion date, or 0 while the registration is live.
+	// (Day 0 is 1970-01-01, decades before any simulated registration.)
+	Removed simtime.Day
+	// Registrant identifies the holder (synthetic org handle).
+	Registrant string
+	// Registrar is the sponsoring registrar.
+	Registrar string
+}
+
+// ActiveOn reports whether the registration exists on day.
+func (d *Domain) ActiveOn(day simtime.Day) bool {
+	return d.Created <= day && (d.Removed == 0 || day < d.Removed)
+}
+
+// Registry is one TLD's registration database.
+type Registry struct {
+	// TLD is the canonical zone ("ru." or "xn--p1ai.").
+	TLD string
+
+	mu      sync.RWMutex
+	domains map[string]*Domain
+}
+
+// New creates an empty registry for a TLD.
+func New(tld string) *Registry {
+	return &Registry{TLD: dns.Canonical(tld), domains: make(map[string]*Domain)}
+}
+
+// Register creates a registration. Re-registering a deleted name is
+// allowed (it resets the lifecycle, as redemption does in practice);
+// registering a live name is an error.
+func (r *Registry) Register(name string, day simtime.Day, registrant, registrar string) (*Domain, error) {
+	name = dns.Canonical(name)
+	if !dns.IsSubdomain(name, r.TLD) || name == r.TLD {
+		return nil, fmt.Errorf("registry %s: %s out of zone", r.TLD, name)
+	}
+	if dns.CountLabels(name) != dns.CountLabels(r.TLD)+1 {
+		return nil, fmt.Errorf("registry %s: %s is not a direct child", r.TLD, name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d, ok := r.domains[name]; ok && (d.Removed == 0 || d.Removed > day) {
+		return nil, fmt.Errorf("registry %s: %s already registered", r.TLD, name)
+	}
+	d := &Domain{Name: name, Created: day, Registrant: registrant, Registrar: registrar}
+	r.domains[name] = d
+	return d, nil
+}
+
+// Remove deletes a registration effective on day.
+func (r *Registry) Remove(name string, day simtime.Day) error {
+	name = dns.Canonical(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.domains[name]
+	if !ok || d.Removed != 0 {
+		return fmt.Errorf("registry %s: %s not registered", r.TLD, name)
+	}
+	d.Removed = day
+	return nil
+}
+
+// Whois returns the registration record for name (a copy).
+func (r *Registry) Whois(name string) (Domain, bool) {
+	name = dns.Canonical(name)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.domains[name]
+	if !ok {
+		return Domain{}, false
+	}
+	return *d, true
+}
+
+// IsActive reports whether name is registered on day.
+func (r *Registry) IsActive(name string, day simtime.Day) bool {
+	name = dns.Canonical(name)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.domains[name]
+	return ok && d.ActiveOn(day)
+}
+
+// Count returns the number of registrations active on day.
+func (r *Registry) Count(day simtime.Day) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, d := range r.domains {
+		if d.ActiveOn(day) {
+			n++
+		}
+	}
+	return n
+}
+
+// ZoneSnapshot returns the sorted names active on day — the daily zone
+// file used to seed a measurement sweep.
+func (r *Registry) ZoneSnapshot(day simtime.Day) []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.domains))
+	for _, d := range r.domains {
+		if d.ActiveOn(day) {
+			out = append(out, d.Name)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registration ever made, sorted by name.
+func (r *Registry) All() []Domain {
+	r.mu.RLock()
+	out := make([]Domain, 0, len(r.domains))
+	for _, d := range r.domains {
+		out = append(out, *d)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Group bundles several registries (the paper measures .ru and .рф
+// together) behind one inventory and whois interface.
+type Group struct {
+	registries []*Registry
+}
+
+// NewGroup bundles registries.
+func NewGroup(regs ...*Registry) *Group { return &Group{registries: regs} }
+
+// Registries returns the member registries.
+func (g *Group) Registries() []*Registry { return g.registries }
+
+// ForName returns the member registry whose TLD contains name.
+func (g *Group) ForName(name string) (*Registry, bool) {
+	name = dns.Canonical(name)
+	for _, r := range g.registries {
+		if dns.IsSubdomain(name, r.TLD) {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Whois looks the name up in the owning registry.
+func (g *Group) Whois(name string) (Domain, bool) {
+	r, ok := g.ForName(name)
+	if !ok {
+		return Domain{}, false
+	}
+	return r.Whois(name)
+}
+
+// ZoneSnapshot concatenates the members' snapshots (sorted within each
+// TLD, TLDs in group order — matching how zone files arrive per TLD).
+func (g *Group) ZoneSnapshot(day simtime.Day) []string {
+	var out []string
+	for _, r := range g.registries {
+		out = append(out, r.ZoneSnapshot(day)...)
+	}
+	return out
+}
+
+// Count sums registrations active on day across members.
+func (g *Group) Count(day simtime.Day) int {
+	n := 0
+	for _, r := range g.registries {
+		n += r.Count(day)
+	}
+	return n
+}

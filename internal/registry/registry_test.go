@@ -1,0 +1,148 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+
+	"whereru/internal/simtime"
+)
+
+func TestLifecycle(t *testing.T) {
+	r := New("ru.")
+	day := simtime.MustParse("2020-01-15")
+	d, err := r.Register("example.ru", day, "ORG-1", "REG.RU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "example.ru." || d.Created != day {
+		t.Fatalf("registered record wrong: %+v", d)
+	}
+	if !r.IsActive("example.ru.", day) {
+		t.Fatal("not active on creation day")
+	}
+	if r.IsActive("example.ru.", day-1) {
+		t.Fatal("active before creation")
+	}
+	if _, err := r.Register("example.ru.", day.Add(5), "ORG-2", "X"); err == nil {
+		t.Fatal("double registration accepted")
+	}
+	del := day.Add(100)
+	if err := r.Remove("example.ru.", del); err != nil {
+		t.Fatal(err)
+	}
+	if r.IsActive("example.ru.", del) {
+		t.Fatal("active on removal day")
+	}
+	if !r.IsActive("example.ru.", del-1) {
+		t.Fatal("not active the day before removal")
+	}
+	if err := r.Remove("example.ru.", del); err == nil {
+		t.Fatal("double removal accepted")
+	}
+	// Re-registration after deletion is allowed.
+	if _, err := r.Register("example.ru.", del.Add(30), "ORG-3", "Y"); err != nil {
+		t.Fatalf("re-registration failed: %v", err)
+	}
+	w, ok := r.Whois("example.ru.")
+	if !ok || w.Registrant != "ORG-3" {
+		t.Fatalf("whois after re-registration: %+v", w)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := New("ru.")
+	if _, err := r.Register("example.com.", 0, "", ""); err == nil {
+		t.Error("out-of-zone registration accepted")
+	}
+	if _, err := r.Register("ru.", 0, "", ""); err == nil {
+		t.Error("apex registration accepted")
+	}
+	if _, err := r.Register("a.b.ru.", 0, "", ""); err == nil {
+		t.Error("third-level registration accepted")
+	}
+}
+
+func TestZoneSnapshotAndCount(t *testing.T) {
+	r := New("ru.")
+	base := simtime.MustParse("2021-06-01")
+	for i := 0; i < 10; i++ {
+		if _, err := r.Register(fmt.Sprintf("d%03d.ru.", i), base.Add(i), "", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Remove("d003.ru.", base.Add(20)); err != nil {
+		t.Fatal(err)
+	}
+	// On base+5: d0..d5 registered (6), none removed.
+	if got := r.Count(base.Add(5)); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	snap := r.ZoneSnapshot(base.Add(25))
+	if len(snap) != 9 {
+		t.Fatalf("snapshot size = %d, want 9", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1] >= snap[i] {
+			t.Fatal("snapshot not sorted")
+		}
+	}
+	for _, n := range snap {
+		if n == "d003.ru." {
+			t.Fatal("removed domain in snapshot")
+		}
+	}
+	if all := r.All(); len(all) != 10 {
+		t.Fatalf("All = %d records, want 10", len(all))
+	}
+}
+
+func TestGroup(t *testing.T) {
+	ru := New("ru.")
+	rf := New("xn--p1ai.")
+	base := simtime.MustParse("2021-01-01")
+	if _, err := ru.Register("a.ru.", base, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rf.Register("xn--80a.xn--p1ai.", base, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroup(ru, rf)
+	if got := g.Count(base); got != 2 {
+		t.Fatalf("group Count = %d", got)
+	}
+	snap := g.ZoneSnapshot(base)
+	if len(snap) != 2 {
+		t.Fatalf("group snapshot = %v", snap)
+	}
+	if _, ok := g.Whois("a.ru."); !ok {
+		t.Error("group whois .ru failed")
+	}
+	if _, ok := g.Whois("xn--80a.xn--p1ai."); !ok {
+		t.Error("group whois .рф failed")
+	}
+	if _, ok := g.Whois("a.com."); ok {
+		t.Error("group whois out-of-group name succeeded")
+	}
+	if reg, ok := g.ForName("b.ru."); !ok || reg != ru {
+		t.Error("ForName failed")
+	}
+	if got := g.Registries(); len(got) != 2 {
+		t.Error("Registries failed")
+	}
+}
+
+func BenchmarkZoneSnapshot(b *testing.B) {
+	r := New("ru.")
+	for i := 0; i < 20000; i++ {
+		if _, err := r.Register(fmt.Sprintf("bench%05d.ru.", i), 0, "", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.ZoneSnapshot(10); len(got) != 20000 {
+			b.Fatal("wrong size")
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package report_test
+
+import (
+	"os"
+
+	"whereru/internal/report"
+)
+
+// ExampleTable renders an aligned text table.
+func ExampleTable() {
+	t := &report.Table{
+		Title:   "Issuers",
+		Headers: []string{"CA", "share"},
+	}
+	t.AddRow("Let's Encrypt", "99.23%")
+	t.AddRow("GlobalSign", "0.52%")
+	t.WriteTo(os.Stdout)
+	// Output:
+	// Issuers
+	// CA             share
+	// -------------  ------
+	// Let's Encrypt  99.23%
+	// GlobalSign     0.52%
+}
+
+// ExampleFlows renders a Figure-6-style movement diagram.
+func ExampleFlows() {
+	f := &report.Flows{
+		Source:   "AS47846 on 2022-03-08",
+		Total:    100,
+		BarWidth: 10,
+	}
+	f.Add("Serverel AS29802", 68)
+	f.Add("remained", 2)
+	f.WriteTo(os.Stdout)
+	// Output:
+	// AS47846 on 2022-03-08 (100 domains)
+	//   └─▶ Serverel AS29802   68.0%  ███████ (68)
+	//   └─▶ remained            2.0%  █ (2)
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Flows renders a Sankey-style movement diagram as text: weighted edges
+// from one left node to many right nodes, with proportional bars — the
+// terminal rendition of the paper's Figures 6 and 7.
+type Flows struct {
+	Title string
+	// Source is the left-hand node ("Amazon AS16509 on 2022-03-08").
+	Source string
+	// Total is the source's size; edges are shown as shares of it.
+	Total int
+	// Edges are the (destination, count) pairs.
+	Edges []FlowEdge
+	// BarWidth is the maximum bar length (default 40).
+	BarWidth int
+}
+
+// FlowEdge is one destination of a flow.
+type FlowEdge struct {
+	Dest  string
+	Count int
+}
+
+// Add appends an edge.
+func (f *Flows) Add(dest string, count int) {
+	f.Edges = append(f.Edges, FlowEdge{Dest: dest, Count: count})
+}
+
+// WriteTo renders the flows sorted by weight.
+func (f *Flows) WriteTo(w io.Writer) (int64, error) {
+	width := f.BarWidth
+	if width <= 0 {
+		width = 40
+	}
+	edges := append([]FlowEdge(nil), f.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Count != edges[j].Count {
+			return edges[i].Count > edges[j].Count
+		}
+		return edges[i].Dest < edges[j].Dest
+	})
+	destWidth := 0
+	for _, e := range edges {
+		if len(e.Dest) > destWidth {
+			destWidth = len(e.Dest)
+		}
+	}
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	fmt.Fprintf(&b, "%s (%d domains)\n", f.Source, f.Total)
+	for _, e := range edges {
+		share := 0.0
+		if f.Total > 0 {
+			share = float64(e.Count) / float64(f.Total)
+		}
+		bar := int(share*float64(width) + 0.5)
+		if bar == 0 && e.Count > 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  └─▶ %-*s %6.1f%%  %s (%d)\n",
+			destWidth, e.Dest, 100*share, strings.Repeat("█", bar), e.Count)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFlowsRendering(t *testing.T) {
+	f := &Flows{
+		Title:    "Figure 6",
+		Source:   "AS16509 on 2022-03-08",
+		Total:    100,
+		BarWidth: 20,
+	}
+	f.Add("remained", 43)
+	f.Add("Serverel AS29802", 30)
+	f.Add("left the zone", 2)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, source, 3 edges
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Sorted by weight.
+	if !strings.Contains(lines[2], "remained") || !strings.Contains(lines[4], "left the zone") {
+		t.Fatalf("edge order wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "43.0%") {
+		t.Fatalf("share missing:\n%s", out)
+	}
+	// Bars are proportional: the 43% bar is longer than the 2% bar.
+	bar43 := strings.Count(lines[2], "█")
+	bar2 := strings.Count(lines[4], "█")
+	if bar43 <= bar2 || bar2 == 0 {
+		t.Fatalf("bars not proportional (%d vs %d):\n%s", bar43, bar2, out)
+	}
+}
+
+func TestFlowsZeroTotal(t *testing.T) {
+	f := &Flows{Source: "empty", Total: 0}
+	f.Add("x", 0)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.0%") {
+		t.Errorf("zero-total rendering:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,270 @@
+// Package report renders analysis results as aligned text tables, ASCII
+// time-series charts, Figure-8-style dot timelines, and CSV — the output
+// layer that regenerates the paper's figures and tables in a terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"whereru/internal/simtime"
+)
+
+// Table is a simple aligned-text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == len(cells)-1 {
+				b.WriteString(c) // no trailing padding
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Series is one named line of a time-series chart.
+type Series struct {
+	Name   string
+	Mark   byte
+	Points map[simtime.Day]float64
+}
+
+// Chart is an ASCII time-series chart: X is time, Y is the value range.
+type Chart struct {
+	Title  string
+	YLabel string
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 16)
+	Days   []simtime.Day
+	Series []Series
+	// YMax fixes the top of the axis; 0 = auto.
+	YMax float64
+}
+
+// WriteTo renders the chart.
+func (c *Chart) WriteTo(w io.Writer) (int64, error) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(c.Days) < 2 {
+		n, err := fmt.Fprintf(w, "%s\n(not enough points)\n", c.Title)
+		return int64(n), err
+	}
+	yMax := c.YMax
+	if yMax == 0 {
+		for _, s := range c.Series {
+			for _, v := range s.Points {
+				if v > yMax {
+					yMax = v
+				}
+			}
+		}
+		yMax = math.Ceil(yMax/10) * 10
+		if yMax == 0 {
+			yMax = 1
+		}
+	}
+	first, last := c.Days[0], c.Days[len(c.Days)-1]
+	span := float64(last - first)
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.Series {
+		for _, d := range c.Days {
+			v, ok := s.Points[d]
+			if !ok {
+				continue
+			}
+			x := int(float64(d-first) / span * float64(width-1))
+			y := height - 1 - int(v/yMax*float64(height-1)+0.5)
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = s.Mark
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		yVal := yMax * float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&b, "%7.1f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%7s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s%-*s%s\n", "", width-len(last.String())+1, first.String(), last.String())
+	legend := make([]string, 0, len(c.Series))
+	for _, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Mark, s.Name))
+	}
+	fmt.Fprintf(&b, "%8slegend: %s", "", strings.Join(legend, "  "))
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "  (y: %s)", c.YLabel)
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// DotTimeline renders Figure-8-style per-entity activity rows: one row
+// per name, one column per step of the window, '*' where active.
+type DotTimeline struct {
+	Title string
+	From  simtime.Day
+	To    simtime.Day
+	// Step controls the column granularity in days (default 1).
+	Step int
+	// Rows maps a name to its set of active days.
+	Rows []DotRow
+	// Marks annotates dates with vertical markers (e.g. conflict start).
+	Marks map[simtime.Day]byte
+}
+
+// DotRow is one timeline row.
+type DotRow struct {
+	Name   string
+	Active map[simtime.Day]bool
+}
+
+// WriteTo renders the timeline.
+func (d *DotTimeline) WriteTo(w io.Writer) (int64, error) {
+	step := d.Step
+	if step <= 0 {
+		step = 1
+	}
+	nameWidth := 0
+	for _, r := range d.Rows {
+		if len(r.Name) > nameWidth {
+			nameWidth = len(r.Name)
+		}
+	}
+	var b strings.Builder
+	if d.Title != "" {
+		fmt.Fprintf(&b, "%s\n", d.Title)
+	}
+	// Marker line.
+	if len(d.Marks) > 0 {
+		fmt.Fprintf(&b, "%-*s ", nameWidth, "")
+		for day := d.From; day <= d.To; day += simtime.Day(step) {
+			mark := byte(' ')
+			for md, m := range d.Marks {
+				if md >= day && md < day.Add(step) {
+					mark = m
+				}
+			}
+			b.WriteByte(mark)
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-*s ", nameWidth, r.Name)
+		for day := d.From; day <= d.To; day += simtime.Day(step) {
+			active := false
+			for dd := day; dd < day.Add(step) && dd <= d.To; dd++ {
+				if r.Active[dd] {
+					active = true
+					break
+				}
+			}
+			if active {
+				b.WriteByte('*')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-*s %s .. %s (%d-day columns)\n", nameWidth, "", d.From, d.To, step)
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// CSV writes rows of values as comma-separated lines; values are quoted
+// only when needed.
+func CSV(w io.Writer, header []string, rows [][]string) error {
+	writeLine := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			out[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := writeLine(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := writeLine(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pct formats a percentage with two decimals.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// Count formats an integer count with a paper-scale equivalent.
+func Count(n, scale int) string {
+	if scale <= 1 {
+		return fmt.Sprintf("%d", n)
+	}
+	return fmt.Sprintf("%d (≈%d at paper scale)", n, n*scale)
+}

@@ -1,0 +1,164 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"whereru/internal/simtime"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:   "Providers",
+		Headers: []string{"name", "share"},
+	}
+	tbl.AddRow("REG.RU", "13.0%")
+	tbl.AddRow("Cloudflare (US)", "6.9%")
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Providers") {
+		t.Error("missing title")
+	}
+	// Columns align: "share" starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "share")
+	if idx < 0 {
+		t.Fatal("missing header")
+	}
+	if !strings.HasPrefix(lines[3][idx:], "13.0%") {
+		t.Errorf("row misaligned:\n%s", out)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	days := []simtime.Day{simtime.MustParse("2022-01-01"), simtime.MustParse("2022-03-01"), simtime.MustParse("2022-05-01")}
+	c := &Chart{
+		Title:  "Test",
+		Width:  40,
+		Height: 8,
+		YMax:   100,
+		Days:   days,
+		Series: []Series{{
+			Name: "full", Mark: 'F',
+			Points: map[simtime.Day]float64{days[0]: 10, days[1]: 50, days[2]: 90},
+		}},
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	plot := out[:strings.Index(out, "legend")]
+	if strings.Count(plot, "F") != 3 {
+		t.Errorf("expected 3 marks in the plot area:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: F=full") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "2022-01-01") || !strings.Contains(out, "2022-05-01") {
+		t.Errorf("missing axis dates:\n%s", out)
+	}
+	// The 90 mark must be above the 10 mark (earlier line in output).
+	hi := strings.Index(out, "F")
+	lo := strings.LastIndex(out, "F")
+	if hi == lo {
+		t.Fatal("marks collapsed")
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	c := &Chart{Title: "Empty", Days: []simtime.Day{1}}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "not enough points") {
+		t.Error("degenerate chart not handled")
+	}
+}
+
+func TestChartAutoScale(t *testing.T) {
+	days := []simtime.Day{1, 2}
+	c := &Chart{
+		Days: days,
+		Series: []Series{{
+			Name: "x", Mark: 'x',
+			Points: map[simtime.Day]float64{1: 3, 2: 47},
+		}},
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "50.0") {
+		t.Errorf("auto y-max should round 47 up to 50:\n%s", buf.String())
+	}
+}
+
+func TestDotTimeline(t *testing.T) {
+	from := simtime.MustParse("2022-01-01")
+	active := map[simtime.Day]bool{from: true, from.Add(4): true}
+	d := &DotTimeline{
+		Title: "CAs",
+		From:  from,
+		To:    from.Add(9),
+		Step:  2,
+		Rows:  []DotRow{{Name: "LE", Active: active}},
+		Marks: map[simtime.Day]byte{from.Add(4): '|'},
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(out, "\n")
+	// title, marker line, row line, footer.
+	if len(lines) < 4 {
+		t.Fatalf("output too short:\n%s", out)
+	}
+	row := lines[2]
+	if !strings.HasPrefix(row, "LE ") {
+		t.Fatalf("row = %q", row)
+	}
+	cells := row[3:]
+	if cells != "*.*.." {
+		t.Errorf("cells = %q, want *.*..", cells)
+	}
+	if !strings.Contains(lines[1], "|") {
+		t.Errorf("marker missing: %q", lines[1])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, []string{"day", "value", "note"}, [][]string{
+		{"2022-01-01", "1.5", "plain"},
+		{"2022-01-02", "2.5", `has,comma and "quote"`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "day,value,note\n2022-01-01,1.5,plain\n2022-01-02,2.5,\"has,comma and \"\"quote\"\"\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(12.345) != "12.35%" {
+		t.Error(Pct(12.345))
+	}
+	if Count(5, 1) != "5" {
+		t.Error(Count(5, 1))
+	}
+	if got := Count(5, 200); !strings.Contains(got, "1000") {
+		t.Error(got)
+	}
+}

@@ -1,0 +1,26 @@
+package sanctions_test
+
+import (
+	"fmt"
+
+	"whereru/internal/sanctions"
+	"whereru/internal/simtime"
+)
+
+func ExampleList() {
+	l := sanctions.NewList()
+	l.Add(sanctions.Entry{
+		Domain:      "vtb.ru",
+		Entity:      "VTB Bank",
+		Listed:      simtime.Date(2022, 2, 25),
+		Authorities: sanctions.USOFAC | sanctions.UKSanctions,
+	})
+	e, _ := l.Match("online.vtb.ru.")
+	fmt.Println(e.Entity, "—", e.Authorities)
+	fmt.Println("sanctioned on Feb 24:", l.Contains("vtb.ru.", simtime.Date(2022, 2, 24)))
+	fmt.Println("sanctioned on Feb 25:", l.Contains("vtb.ru.", simtime.Date(2022, 2, 25)))
+	// Output:
+	// VTB Bank — US-OFAC-SDN+UK
+	// sanctioned on Feb 24: false
+	// sanctioned on Feb 25: true
+}

@@ -1,0 +1,173 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDateRoundTrip(t *testing.T) {
+	cases := []struct {
+		y, m, d int
+		want    string
+	}{
+		{1970, 1, 1, "1970-01-01"},
+		{2017, 6, 18, "2017-06-18"},
+		{2022, 2, 24, "2022-02-24"},
+		{2022, 3, 26, "2022-03-26"},
+		{2022, 5, 25, "2022-05-25"},
+		{2000, 2, 29, "2000-02-29"},
+		{1999, 12, 31, "1999-12-31"},
+		{2100, 1, 1, "2100-01-01"},
+	}
+	for _, c := range cases {
+		d := Date(c.y, c.m, c.d)
+		if got := d.String(); got != c.want {
+			t.Errorf("Date(%d,%d,%d).String() = %q, want %q", c.y, c.m, c.d, got, c.want)
+		}
+		y2, m2, d2 := d.YMD()
+		if y2 != c.y || m2 != c.m || d2 != c.d {
+			t.Errorf("YMD round trip failed for %s: got %d-%d-%d", c.want, y2, m2, d2)
+		}
+	}
+}
+
+func TestEpoch(t *testing.T) {
+	if Date(1970, 1, 1) != 0 {
+		t.Fatalf("epoch: Date(1970,1,1) = %d, want 0", Date(1970, 1, 1))
+	}
+	if Date(1970, 1, 2) != 1 {
+		t.Fatalf("Date(1970,1,2) = %d, want 1", Date(1970, 1, 2))
+	}
+	if Date(1969, 12, 31) != -1 {
+		t.Fatalf("Date(1969,12,31) = %d, want -1", Date(1969, 12, 31))
+	}
+}
+
+func TestAgainstTimePackage(t *testing.T) {
+	// Cross-check against the standard library over a broad range.
+	start := time.Date(1995, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 15000; i += 17 {
+		tt := start.AddDate(0, 0, i)
+		want := Day(tt.Unix() / 86400)
+		got := Date(tt.Year(), int(tt.Month()), tt.Day())
+		if got != want {
+			t.Fatalf("Date(%v) = %d, want %d", tt, got, want)
+		}
+	}
+}
+
+func TestStudyWindowLength(t *testing.T) {
+	// The paper states the study spans 1803 days.
+	if got := StudyEnd.Sub(StudyStart) + 1; got != 1803 {
+		t.Errorf("study window = %d days, want 1803", got)
+	}
+}
+
+func TestPeriodOf(t *testing.T) {
+	cases := []struct {
+		date string
+		want Period
+	}{
+		{"2017-06-18", PreConflict},
+		{"2022-02-23", PreConflict},
+		{"2022-02-24", PreSanctions},
+		{"2022-03-25", PreSanctions},
+		{"2022-03-26", PostSanctions},
+		{"2022-05-25", PostSanctions},
+	}
+	for _, c := range cases {
+		if got := PeriodOf(MustParse(c.date)); got != c.want {
+			t.Errorf("PeriodOf(%s) = %v, want %v", c.date, got, c.want)
+		}
+	}
+}
+
+func TestPeriodString(t *testing.T) {
+	if PreConflict.String() != "pre-conflict" ||
+		PreSanctions.String() != "pre-sanctions" ||
+		PostSanctions.String() != "post-sanctions" {
+		t.Error("period names do not match the paper's terminology")
+	}
+	if Period(99).String() != "Period(99)" {
+		t.Error("unknown period should render numerically")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "2022", "2022-13-01", "2022-00-10", "2022-01-32", "a-b-c", "2022/01/02"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(n int16) bool {
+		d := Day(int32(n)) + Date(2000, 1, 1)
+		parsed, err := Parse(d.String())
+		return err == nil && parsed == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonthHelpers(t *testing.T) {
+	d := MustParse("2022-02-24")
+	if d.FirstOfMonth().String() != "2022-02-01" {
+		t.Errorf("FirstOfMonth = %s", d.FirstOfMonth())
+	}
+	if d.NextMonth().String() != "2022-03-01" {
+		t.Errorf("NextMonth = %s", d.NextMonth())
+	}
+	dec := MustParse("2021-12-05")
+	if dec.NextMonth().String() != "2022-01-01" {
+		t.Errorf("NextMonth across year = %s", dec.NextMonth())
+	}
+	if d.Year() != 2022 || d.Month() != 2 || d.DayOfMonth() != 24 {
+		t.Errorf("accessors wrong: %d %d %d", d.Year(), d.Month(), d.DayOfMonth())
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	d := MustParse("2022-02-24")
+	if d.Add(30).String() != "2022-03-26" {
+		t.Errorf("Add(30) = %s, want 2022-03-26", d.Add(30))
+	}
+	if d.Add(-1).String() != "2022-02-23" {
+		t.Errorf("Add(-1) = %s", d.Add(-1))
+	}
+	if MustParse("2022-03-26").Sub(d) != 30 {
+		t.Error("Sub inverse of Add failed")
+	}
+}
+
+func TestRange(t *testing.T) {
+	var got []string
+	Range(MustParse("2022-01-01"), MustParse("2022-01-07"), 3, func(d Day) bool {
+		got = append(got, d.String())
+		return true
+	})
+	want := []string{"2022-01-01", "2022-01-04", "2022-01-07"}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range visited %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	Range(0, 100, 1, func(Day) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("early stop visited %d days, want 5", count)
+	}
+	// Non-positive step defaults to 1.
+	count = 0
+	Range(0, 3, 0, func(Day) bool { count++; return true })
+	if count != 4 {
+		t.Errorf("zero step visited %d days, want 4", count)
+	}
+}

@@ -1,0 +1,243 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"whereru/internal/simtime"
+)
+
+// The on-disk format is a simple length-prefixed binary layout:
+//
+//	magic "WRST" | version u16
+//	sweepCount u32 | sweeps (i32 each)
+//	domainCount u32
+//	per domain: name | epochCount u32
+//	  per epoch: from i32 | lastSeen i32 | failed u8
+//	    nsHostCount u16 | hosts | nsAddrCount u16 | addrs(4B) |
+//	    apexAddrCount u16 | addrs(4B) | mxHostCount u16 | hosts (v2+)
+//
+// Strings are u16-length-prefixed; addresses are IPv4 (the simulation's
+// measurement plane is v4-only; AAAA support in the DNS layer is for
+// protocol completeness). Version 1 files (without the MX section) are
+// still readable.
+
+const (
+	magic   = "WRST"
+	version = 2
+)
+
+// WriteTo serializes the store.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	cw.write([]byte(magic))
+	cw.u16(version)
+	cw.u32(uint32(len(s.sweeps)))
+	for _, d := range s.sweeps {
+		cw.i32(int32(d))
+	}
+	domains := make([]string, 0, len(s.domains))
+	for d := range s.domains {
+		domains = append(domains, d)
+	}
+	// Sorted for deterministic output.
+	sortStrings(domains)
+	cw.u32(uint32(len(domains)))
+	for _, name := range domains {
+		cw.str(name)
+		ds := s.domains[name]
+		cw.u32(uint32(len(ds.epochs)))
+		for _, e := range ds.epochs {
+			cw.i32(int32(e.from))
+			cw.i32(int32(e.lastSeen))
+			if e.config.Failed {
+				cw.write([]byte{1})
+			} else {
+				cw.write([]byte{0})
+			}
+			cw.u16(uint16(len(e.config.NSHosts)))
+			for _, h := range e.config.NSHosts {
+				cw.str(h)
+			}
+			cw.addrs(e.config.NSAddrs)
+			cw.addrs(e.config.ApexAddrs)
+			cw.u16(uint16(len(e.config.MXHosts)))
+			for _, h := range e.config.MXHosts {
+				cw.str(h)
+			}
+		}
+	}
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+func sortStrings(s []string) {
+	// small local helper to avoid importing sort twice conceptually
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) write(b []byte) {
+	if c.err != nil {
+		return
+	}
+	n, err := c.w.Write(b)
+	c.n += int64(n)
+	c.err = err
+}
+
+func (c *countingWriter) u16(v uint16) { c.write(binary.BigEndian.AppendUint16(nil, v)) }
+func (c *countingWriter) u32(v uint32) { c.write(binary.BigEndian.AppendUint32(nil, v)) }
+func (c *countingWriter) i32(v int32)  { c.u32(uint32(v)) }
+func (c *countingWriter) str(s string) {
+	c.u16(uint16(len(s)))
+	c.write([]byte(s))
+}
+func (c *countingWriter) addrs(a []netip.Addr) {
+	c.u16(uint16(len(a)))
+	for _, addr := range a {
+		b := addr.As4()
+		c.write(b[:])
+	}
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.err = err
+		return nil
+	}
+	return b
+}
+
+func (r *reader) u16() uint16 {
+	b := r.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) i32() int32 { return int32(r.u32()) }
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	b := r.bytes(n)
+	return string(b)
+}
+
+func (r *reader) addrs() []netip.Addr {
+	n := int(r.u16())
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	out := make([]netip.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		b := r.bytes(4)
+		if b == nil {
+			return nil
+		}
+		out = append(out, netip.AddrFrom4([4]byte(b)))
+	}
+	return out
+}
+
+// countSweepsIn counts schedule entries in [from, to].
+func countSweepsIn(sweeps []simtime.Day, from, to simtime.Day) int {
+	lo := sort.Search(len(sweeps), func(i int) bool { return sweeps[i] >= from })
+	hi := sort.Search(len(sweeps), func(i int) bool { return sweeps[i] > to })
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Read deserializes a store written by WriteTo.
+func Read(src io.Reader) (*Store, error) {
+	r := &reader{r: bufio.NewReader(src)}
+	if got := string(r.bytes(4)); got != magic {
+		return nil, fmt.Errorf("store: bad magic %q", got)
+	}
+	v := r.u16()
+	if v != 1 && v != version {
+		return nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+	s := New()
+	nSweeps := int(r.u32())
+	for i := 0; i < nSweeps && r.err == nil; i++ {
+		s.sweeps = append(s.sweeps, simtime.Day(r.i32()))
+	}
+	nDomains := int(r.u32())
+	for i := 0; i < nDomains && r.err == nil; i++ {
+		name := r.str()
+		nEpochs := int(r.u32())
+		ds := &domainSeries{epochs: make([]epoch, 0, nEpochs)}
+		for j := 0; j < nEpochs && r.err == nil; j++ {
+			var e epoch
+			e.from = simtime.Day(r.i32())
+			e.lastSeen = simtime.Day(r.i32())
+			flags := r.bytes(1)
+			if flags != nil {
+				e.config.Failed = flags[0] == 1
+			}
+			nHosts := int(r.u16())
+			for k := 0; k < nHosts && r.err == nil; k++ {
+				e.config.NSHosts = append(e.config.NSHosts, r.str())
+			}
+			e.config.NSAddrs = r.addrs()
+			e.config.ApexAddrs = r.addrs()
+			if v >= 2 {
+				nMX := int(r.u16())
+				for k := 0; k < nMX && r.err == nil; k++ {
+					e.config.MXHosts = append(e.config.MXHosts, r.str())
+				}
+			}
+			ds.epochs = append(ds.epochs, e)
+		}
+		s.domains[name] = ds
+	}
+	// Reconstruct the naive (one-record-per-sweep) count from the sweep
+	// schedule: each epoch spans the sweeps in [from, lastSeen].
+	for _, ds := range s.domains {
+		for _, e := range ds.epochs {
+			s.naive += int64(countSweepsIn(s.sweeps, e.from, e.lastSeen))
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("store: decode: %w", r.err)
+	}
+	return s, nil
+}

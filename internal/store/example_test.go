@@ -1,0 +1,32 @@
+package store_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+)
+
+// ExampleStore shows epoch compression: ten identical sweeps collapse
+// into one epoch, and any measured day reconstructs.
+func ExampleStore() {
+	st := store.New()
+	cfg := store.Config{
+		NSHosts:   []string{"ns1.reg.ru."},
+		ApexAddrs: []netip.Addr{netip.MustParseAddr("11.0.0.7")},
+	}
+	for i := 0; i < 10; i++ {
+		day := simtime.Date(2022, 1, 1).Add(i * 7)
+		st.BeginSweep(day)
+		st.Add(store.Measurement{Domain: "example.ru.", Day: day, Config: cfg})
+	}
+	stats := st.Stats()
+	fmt.Printf("%d sweeps stored as %d epoch(s)\n", stats.NaiveRecords, stats.Epochs)
+
+	got, _ := st.At("example.ru.", simtime.Date(2022, 2, 10))
+	fmt.Println("NS on 2022-02-10:", got.NSHosts[0])
+	// Output:
+	// 10 sweeps stored as 1 epoch(s)
+	// NS on 2022-02-10: ns1.reg.ru.
+}

@@ -1,0 +1,264 @@
+// Package store is the longitudinal measurement database: per-domain,
+// per-sweep DNS measurements with epoch compression. OpenINTEL-style
+// collection produces one record per domain per sweep, but domain
+// configurations are piecewise-constant, so the store keeps an epoch only
+// when the observed configuration changes — a ~50× reduction over naive
+// per-day snapshots on the paper's five-year window (the ablation bench in
+// bench_test.go quantifies this) — while reconstructing the full snapshot
+// for any measured day.
+package store
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+
+	"whereru/internal/simtime"
+)
+
+// Config is one observed DNS configuration for a domain: its delegated
+// name-server set, the addresses those servers resolve to, and the A
+// records of the domain apex. All slices are sorted; Configs with equal
+// content compare equal via Equal.
+type Config struct {
+	// NSHosts are the delegated name-server names.
+	NSHosts []string
+	// NSAddrs is the union of the name servers' A records.
+	NSAddrs []netip.Addr
+	// ApexAddrs are the domain apex's A records.
+	ApexAddrs []netip.Addr
+	// MXHosts are the domain's mail-exchanger names (optional; collected
+	// when the pipeline's mail extension is enabled).
+	MXHosts []string
+	// Failed marks a sweep where resolution failed entirely (measurement
+	// outage or unreachable infrastructure).
+	Failed bool
+}
+
+// Normalize sorts the slices in place and returns the config.
+func (c Config) Normalize() Config {
+	sort.Strings(c.NSHosts)
+	sortAddrs(c.NSAddrs)
+	sortAddrs(c.ApexAddrs)
+	sort.Strings(c.MXHosts)
+	return c
+}
+
+func sortAddrs(a []netip.Addr) {
+	sort.Slice(a, func(i, j int) bool { return a[i].Less(a[j]) })
+}
+
+// Equal reports deep equality with another config (both assumed
+// normalized).
+func (c Config) Equal(o Config) bool {
+	if c.Failed != o.Failed ||
+		len(c.NSHosts) != len(o.NSHosts) ||
+		len(c.NSAddrs) != len(o.NSAddrs) ||
+		len(c.ApexAddrs) != len(o.ApexAddrs) ||
+		len(c.MXHosts) != len(o.MXHosts) {
+		return false
+	}
+	for i := range c.NSHosts {
+		if c.NSHosts[i] != o.NSHosts[i] {
+			return false
+		}
+	}
+	for i := range c.NSAddrs {
+		if c.NSAddrs[i] != o.NSAddrs[i] {
+			return false
+		}
+	}
+	for i := range c.ApexAddrs {
+		if c.ApexAddrs[i] != o.ApexAddrs[i] {
+			return false
+		}
+	}
+	for i := range c.MXHosts {
+		if c.MXHosts[i] != o.MXHosts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Measurement is one sweep's observation of one domain.
+type Measurement struct {
+	Domain string
+	Day    simtime.Day
+	Config Config
+}
+
+// epoch is a run of sweeps with an identical configuration.
+type epoch struct {
+	from, lastSeen simtime.Day
+	config         Config
+}
+
+type domainSeries struct {
+	epochs []epoch // sorted by from
+}
+
+// Store is the measurement database.
+type Store struct {
+	mu      sync.RWMutex
+	domains map[string]*domainSeries
+	sweeps  []simtime.Day // sorted unique sweep days recorded
+	// naive counts what the uncompressed record count would be, for the
+	// compression-ratio ablation.
+	naive int64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{domains: make(map[string]*domainSeries)}
+}
+
+// BeginSweep registers a sweep day. Sweeps must be recorded in
+// chronological order.
+func (s *Store) BeginSweep(day simtime.Day) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.sweeps); n == 0 || s.sweeps[n-1] < day {
+		s.sweeps = append(s.sweeps, day)
+	}
+}
+
+// Add records a measurement. Measurements for one domain must arrive in
+// chronological order (the pipeline guarantees this).
+func (s *Store) Add(m Measurement) {
+	cfg := m.Config.Normalize()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.naive++
+	ds, ok := s.domains[m.Domain]
+	if !ok {
+		ds = &domainSeries{}
+		s.domains[m.Domain] = ds
+	}
+	if n := len(ds.epochs); n > 0 && ds.epochs[n-1].config.Equal(cfg) && ds.epochs[n-1].lastSeen <= m.Day {
+		ds.epochs[n-1].lastSeen = m.Day
+		return
+	}
+	ds.epochs = append(ds.epochs, epoch{from: m.Day, lastSeen: m.Day, config: cfg})
+}
+
+// At returns the configuration observed for domain at the most recent
+// sweep at or before day. ok is false when the domain has no measurement
+// by then.
+func (s *Store) At(domain string, day simtime.Day) (Config, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.domains[domain]
+	if !ok {
+		return Config{}, false
+	}
+	return ds.at(day)
+}
+
+func (ds *domainSeries) at(day simtime.Day) (Config, bool) {
+	i := sort.Search(len(ds.epochs), func(i int) bool { return ds.epochs[i].from > day })
+	if i == 0 {
+		return Config{}, false
+	}
+	return ds.epochs[i-1].config, true
+}
+
+// MeasuredOn reports whether the domain was seen on a sweep at or before
+// day and at or after the epoch containing day started. A domain that
+// dropped out of the zone stops being "measured" after its last sweep.
+func (s *Store) MeasuredOn(domain string, day simtime.Day) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.domains[domain]
+	if !ok {
+		return false
+	}
+	i := sort.Search(len(ds.epochs), func(i int) bool { return ds.epochs[i].from > day })
+	if i == 0 {
+		return false
+	}
+	// Measured if the covering epoch's run extends to (or past) day, or a
+	// later epoch exists (meaning the domain was still in the zone).
+	return i < len(ds.epochs) || ds.epochs[i-1].lastSeen >= day
+}
+
+// Domains returns all measured domain names, sorted.
+func (s *Store) Domains() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.domains))
+	for d := range s.domains {
+		out = append(out, d)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// NumDomains returns the number of measured domains.
+func (s *Store) NumDomains() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.domains)
+}
+
+// Sweeps returns the recorded sweep days.
+func (s *Store) Sweeps() []simtime.Day {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]simtime.Day(nil), s.sweeps...)
+}
+
+// ForEachAt calls fn with every domain measured on day (per MeasuredOn)
+// and its configuration at that day, in sorted domain order.
+func (s *Store) ForEachAt(day simtime.Day, fn func(domain string, cfg Config)) {
+	for _, d := range s.Domains() {
+		s.mu.RLock()
+		ds := s.domains[d]
+		i := sort.Search(len(ds.epochs), func(i int) bool { return ds.epochs[i].from > day })
+		var cfg Config
+		covered := false
+		if i > 0 && (i < len(ds.epochs) || ds.epochs[i-1].lastSeen >= day) {
+			cfg = ds.epochs[i-1].config
+			covered = true
+		}
+		s.mu.RUnlock()
+		if covered {
+			fn(d, cfg)
+		}
+	}
+}
+
+// Stats describes the store's compression behavior.
+type Stats struct {
+	Domains int
+	Epochs  int64
+	// NaiveRecords is what one-record-per-sweep storage would hold.
+	NaiveRecords int64
+}
+
+// Stats returns compression statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var epochs int64
+	for _, ds := range s.domains {
+		epochs += int64(len(ds.epochs))
+	}
+	return Stats{Domains: len(s.domains), Epochs: epochs, NaiveRecords: s.naive}
+}
+
+// History returns the epochs for one domain as (from, lastSeen, config)
+// triples, for inspection tools.
+func (s *Store) History(domain string) []Measurement {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.domains[domain]
+	if !ok {
+		return nil
+	}
+	out := make([]Measurement, len(ds.epochs))
+	for i, e := range ds.epochs {
+		out[i] = Measurement{Domain: domain, Day: e.from, Config: e.config}
+	}
+	return out
+}

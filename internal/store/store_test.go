@@ -1,0 +1,236 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"whereru/internal/simtime"
+)
+
+func ip(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func cfg(ns []string, nsIPs, apex []string) Config {
+	c := Config{NSHosts: ns}
+	for _, a := range nsIPs {
+		c.NSAddrs = append(c.NSAddrs, ip(a))
+	}
+	for _, a := range apex {
+		c.ApexAddrs = append(c.ApexAddrs, ip(a))
+	}
+	return c.Normalize()
+}
+
+func TestEpochCompression(t *testing.T) {
+	s := New()
+	c1 := cfg([]string{"ns1.reg.ru."}, []string{"11.0.0.1"}, []string{"11.0.1.1"})
+	c2 := cfg([]string{"ns1.sedo.de."}, []string{"11.9.0.1"}, []string{"11.9.1.1"})
+	// 10 sweeps with config c1, then 5 with c2.
+	for i := 0; i < 10; i++ {
+		day := simtime.Day(100 + i*7)
+		s.BeginSweep(day)
+		s.Add(Measurement{Domain: "a.ru.", Day: day, Config: c1})
+	}
+	for i := 0; i < 5; i++ {
+		day := simtime.Day(100 + (10+i)*7)
+		s.BeginSweep(day)
+		s.Add(Measurement{Domain: "a.ru.", Day: day, Config: c2})
+	}
+	st := s.Stats()
+	if st.Epochs != 2 {
+		t.Fatalf("Epochs = %d, want 2", st.Epochs)
+	}
+	if st.NaiveRecords != 15 {
+		t.Fatalf("NaiveRecords = %d, want 15", st.NaiveRecords)
+	}
+	if st.Domains != 1 {
+		t.Fatalf("Domains = %d", st.Domains)
+	}
+	// Snapshot reconstruction at various days.
+	got, ok := s.At("a.ru.", 100)
+	if !ok || !got.Equal(c1) {
+		t.Fatal("At(first sweep) wrong")
+	}
+	got, ok = s.At("a.ru.", 105) // between sweeps: carries forward
+	if !ok || !got.Equal(c1) {
+		t.Fatal("At(between sweeps) wrong")
+	}
+	got, ok = s.At("a.ru.", 100+10*7)
+	if !ok || !got.Equal(c2) {
+		t.Fatal("At(after change) wrong")
+	}
+	if _, ok = s.At("a.ru.", 99); ok {
+		t.Fatal("At(before first sweep) resolved")
+	}
+	if _, ok = s.At("zzz.ru.", 200); ok {
+		t.Fatal("At(unknown domain) resolved")
+	}
+}
+
+func TestConfigEqualAndNormalize(t *testing.T) {
+	a := cfg([]string{"b.", "a."}, []string{"11.0.0.2", "11.0.0.1"}, []string{"11.1.0.1"})
+	b := cfg([]string{"a.", "b."}, []string{"11.0.0.1", "11.0.0.2"}, []string{"11.1.0.1"})
+	if !a.Equal(b) {
+		t.Fatal("normalized configs not equal")
+	}
+	c := cfg([]string{"a.", "b."}, []string{"11.0.0.1", "11.0.0.2"}, []string{"11.1.0.2"})
+	if a.Equal(c) {
+		t.Fatal("different apex configs equal")
+	}
+	d := a
+	d.Failed = true
+	if a.Equal(d) {
+		t.Fatal("failed flag ignored in Equal")
+	}
+	if a.Equal(Config{}) {
+		t.Fatal("non-empty equals empty")
+	}
+}
+
+func TestMeasuredOn(t *testing.T) {
+	s := New()
+	c := cfg([]string{"ns.x.ru."}, nil, nil)
+	s.BeginSweep(10)
+	s.Add(Measurement{Domain: "d.ru.", Day: 10, Config: c})
+	s.BeginSweep(20)
+	s.Add(Measurement{Domain: "d.ru.", Day: 20, Config: c})
+	if !s.MeasuredOn("d.ru.", 10) || !s.MeasuredOn("d.ru.", 15) || !s.MeasuredOn("d.ru.", 20) {
+		t.Fatal("measured days not covered")
+	}
+	if s.MeasuredOn("d.ru.", 9) {
+		t.Fatal("measured before first sweep")
+	}
+	// After the last sweep the domain is no longer measured (it may have
+	// left the zone).
+	if s.MeasuredOn("d.ru.", 21) {
+		t.Fatal("measured after last sweep")
+	}
+	if s.MeasuredOn("other.ru.", 15) {
+		t.Fatal("unknown domain measured")
+	}
+}
+
+func TestForEachAt(t *testing.T) {
+	s := New()
+	c := cfg([]string{"ns.x.ru."}, nil, nil)
+	for i, d := range []string{"b.ru.", "a.ru.", "c.ru."} {
+		day := simtime.Day(10 + i)
+		s.BeginSweep(day)
+		s.Add(Measurement{Domain: d, Day: day, Config: c})
+	}
+	var visited []string
+	s.ForEachAt(12, func(domain string, _ Config) { visited = append(visited, domain) })
+	// a.ru. measured day 11 (lastSeen 11 < 12, no later epoch → not measured),
+	// b.ru. day 10 (same), c.ru. day 12 (measured).
+	want := []string{"c.ru."}
+	if !reflect.DeepEqual(visited, want) {
+		t.Fatalf("ForEachAt visited %v, want %v", visited, want)
+	}
+}
+
+func TestSweepsAndHistory(t *testing.T) {
+	s := New()
+	s.BeginSweep(5)
+	s.BeginSweep(5) // duplicate ignored
+	s.BeginSweep(9)
+	if got := s.Sweeps(); len(got) != 2 || got[0] != 5 || got[1] != 9 {
+		t.Fatalf("Sweeps = %v", got)
+	}
+	c1 := cfg([]string{"x."}, nil, nil)
+	c2 := cfg([]string{"y."}, nil, nil)
+	s.Add(Measurement{Domain: "h.ru.", Day: 5, Config: c1})
+	s.Add(Measurement{Domain: "h.ru.", Day: 9, Config: c2})
+	h := s.History("h.ru.")
+	if len(h) != 2 || h[0].Day != 5 || h[1].Day != 9 {
+		t.Fatalf("History = %+v", h)
+	}
+	if s.History("none.ru.") != nil {
+		t.Fatal("History of unknown domain non-nil")
+	}
+	if s.NumDomains() != 1 {
+		t.Fatalf("NumDomains = %d", s.NumDomains())
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		day := simtime.Day(1000 + i*3)
+		s.BeginSweep(day)
+		for j := 0; j < 20; j++ {
+			c := cfg(
+				[]string{fmt.Sprintf("ns%d.prov%d.ru.", j%2, j%5)},
+				[]string{fmt.Sprintf("11.%d.0.%d", j%5, j%2+1)},
+				[]string{fmt.Sprintf("11.%d.1.%d", (i/25+j)%5, j+1)},
+			)
+			if j == 7 && i%2 == 0 {
+				c.Failed = true
+				c.NSHosts = nil
+				c.NSAddrs = nil
+				c.ApexAddrs = nil
+			}
+			s.Add(Measurement{Domain: fmt.Sprintf("dom%02d.ru.", j), Day: day, Config: c})
+		}
+	}
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo returned %d, buffer has %d", n, buf.Len())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(s.Sweeps(), back.Sweeps()) {
+		t.Fatal("sweeps differ after round trip")
+	}
+	if !reflect.DeepEqual(s.Domains(), back.Domains()) {
+		t.Fatal("domains differ after round trip")
+	}
+	for _, d := range s.Domains() {
+		if !reflect.DeepEqual(s.History(d), back.History(d)) {
+			t.Fatalf("history differs for %s", d)
+		}
+	}
+}
+
+func TestCodecRejectsJunk(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte("WRST\x00\x63"))); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte("WRST\x00\x01\x00\x00\x00\x05"))); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func BenchmarkAddCompressible(b *testing.B) {
+	s := New()
+	c := cfg([]string{"ns1.reg.ru."}, []string{"11.0.0.1"}, []string{"11.0.1.1"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(Measurement{Domain: "bench.ru.", Day: simtime.Day(i), Config: c})
+	}
+}
+
+func BenchmarkAt(b *testing.B) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		c := cfg([]string{fmt.Sprintf("ns%d.ru.", i%7)}, nil, nil)
+		s.Add(Measurement{Domain: "bench.ru.", Day: simtime.Day(i * 5), Config: c})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.At("bench.ru.", simtime.Day(i%5000)); !ok && i%5000 >= 0 {
+			b.Fatal("lookup failed")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package world generates the synthetic .ru/.рф ecosystem the measurement
+// pipeline runs against: providers with AS numbers and address space,
+// millions of (scaled) domains with piecewise-constant DNS/hosting
+// configurations, the 2022 event timeline (invasion, Netnod cutoff,
+// provider exits, sanctions), and the certificate corpus (CAs, CT log,
+// revocations, the Russian Trusted Root CA, and TLS scan endpoints).
+//
+// Everything is deterministic given Config.Seed, and all headline numbers
+// from the paper are encoded in this file so the generator, the analysis
+// tests and EXPERIMENTS.md share one source of truth.
+package world
+
+import "whereru/internal/simtime"
+
+// Calibration holds the paper's published numbers. Values are percentages
+// of domains unless stated otherwise; absolute counts are at paper scale
+// (divide by Config.Scale for the simulated world).
+type Calibration struct {
+	// §2: population.
+	UniqueDomainsEver  float64 // 11.7M unique names over the window
+	ActiveDomainsStart float64 // "just under 5M" on 2017-06-18
+	ActiveDomainsEnd   float64 // ≈5.3M by the end of the window
+	SanctionedDomains  int     // 107
+	HostingASNs        int     // 13.3k (context only)
+	DNSASNs            int     // 9.5k (context only)
+
+	// §3.1 hosting composition on 2017-06-18.
+	HostFullRUStart float64 // 71.0
+	HostPartRUStart float64 // 0.19
+	HostNonRUStart  float64 // 28.81
+
+	// §3.1 NS-infrastructure composition.
+	NSFullRUStart float64 // 67.0 on 2017-06-18
+	NSFullRUEnd   float64 // 73.9 on 2022-05-25
+
+	// §3.1 TLD dependency (Figure 2): net changes comparing extrema.
+	TLDFullNetChange float64 // -6.3
+	TLDPartNetChange float64 // +7.9
+
+	// Figure 3: share of domains with ≥1 NS name under the TLD, 2022-05-25
+	// (start values derive from the published net changes).
+	TLDShareRuEnd  float64 // 78.3
+	TLDShareComEnd float64 // 24.7 (up 7.5 over five years)
+	TLDShareProEnd float64 // 12.4 (up from 8.8)
+	TLDShareOrgEnd float64 // 9.2 (up from 8.2)
+	TLDShareNetEnd float64 // 7.3 (down from 9.1)
+
+	// Figure 4: hosting shares.
+	RUBigFourShareStart float64 // 38 (REG.RU+RU-CENTER+Timeweb+Beget)
+	RUBigFourShareEnd   float64 // 39
+	CloudflareShare     float64 // ≈7 throughout
+
+	// §3.2: Netnod stopped serving 76k domains on 2022-03-03.
+	NetnodDomains int
+	NetnodCutoff  simtime.Day
+
+	// §3.3 sanctioned domains.
+	SanctionedFullRUHostedPreConflict int     // 101 of 107
+	SanctionedNSPartFeb24             float64 // 34.0
+	SanctionedNSNonFeb24              float64 // 5.2
+	SanctionedNSFullMar4              float64 // 93.8
+
+	// §3.4 provider case studies (counts at paper scale).
+	AmazonSetMar8         int     // ≈58k (derived from Fig 4 ≈1.1% share)
+	AmazonRemainPct       float64 // 43
+	AmazonNewlyRegistered int     // 574
+	AmazonRelocatedIn     int     // 988
+	SedoSetMar8           int     // 164k
+	SedoRemainPct         float64 // 1.6
+	SedoRelocatedIn       int     // 311
+	CloudflareSetMar7     int     // 315k
+	CloudflareRemainPct   float64 // 94
+	CloudflareNewIn       int     // 34k
+	GoogleSetMar10        int     // 17.7k
+	GoogleRelocatePct     float64 // 57.1
+	GoogleIntraPct        float64 // 75.2 (of relocated, to AS396982)
+	GoogleExternalIn      int     // 187
+	GoogleNewlyRegistered int     // 184
+
+	// §4 certificate issuance (Table 1), thousands of certs per period at
+	// paper scale, and per-day averages.
+	CertsPerDayPreConflict   float64 // ≈130k
+	CertsPerDayPreSanctions  float64 // ≈115k
+	CertsPerDayPostSanctions float64 // ≈115k
+	LESharePreConflict       float64 // 91.58
+	LESharePreSanctions      float64 // 98.06
+	LESharePostSanctions     float64 // 99.23
+
+	// §4.2 revocation rates (Table 2), percent of issued.
+	RevRateLE         float64 // 0.06
+	RevRateDigiCert   float64 // 0.80
+	RevRateGlobalSign float64 // 1.68
+	RevRateSectigo    float64 // 5.15
+	RevRateZeroSSL    float64 // 0.30
+	// sanctioned-domain revocation rates
+	RevRateLESanc         float64 // 1.19
+	RevRateDigiCertSanc   float64 // 100
+	RevRateGlobalSignSanc float64 // 2.54
+	RevRateSectigoSanc    float64 // 100
+	RevRateZeroSSLSanc    float64 // 2.43
+
+	// §4.2 sanctioned-domain issuance counts (absolute, not scaled).
+	SancIssuedLE         int // 16k → modeled at 1:10 (1600) to bound runtime
+	SancIssuedDigiCert   int // 308
+	SancIssuedGlobalSign int // 905
+	SancIssuedSectigo    int // 164
+	SancIssuedZeroSSL    int // 82
+
+	// §4.3 Russian Trusted Root CA (absolute counts).
+	RussianCACerts           int // 170 unique certs in scans
+	RussianCARuDomains       int // 130 secure .ru
+	RussianCARFDomains       int // 2 secure .рф
+	RussianCASanctionedCerts int // 36 secure sanctioned domains
+}
+
+// PaperNumbers is the single source of truth for calibration targets.
+var PaperNumbers = Calibration{
+	UniqueDomainsEver:  11_700_000,
+	ActiveDomainsStart: 4_950_000,
+	ActiveDomainsEnd:   5_300_000,
+	SanctionedDomains:  107,
+	HostingASNs:        13_300,
+	DNSASNs:            9_500,
+
+	HostFullRUStart: 71.0,
+	HostPartRUStart: 0.19,
+	HostNonRUStart:  28.81,
+
+	NSFullRUStart: 67.0,
+	NSFullRUEnd:   73.9,
+
+	TLDFullNetChange: -6.3,
+	TLDPartNetChange: 7.9,
+
+	TLDShareRuEnd:  78.3,
+	TLDShareComEnd: 24.7,
+	TLDShareProEnd: 12.4,
+	TLDShareOrgEnd: 9.2,
+	TLDShareNetEnd: 7.3,
+
+	RUBigFourShareStart: 38,
+	RUBigFourShareEnd:   39,
+	CloudflareShare:     7,
+
+	NetnodDomains: 76_000,
+	NetnodCutoff:  simtime.Date(2022, 3, 3),
+
+	SanctionedFullRUHostedPreConflict: 101,
+	SanctionedNSPartFeb24:             34.0,
+	SanctionedNSNonFeb24:              5.2,
+	SanctionedNSFullMar4:              93.8,
+
+	AmazonSetMar8:         58_000,
+	AmazonRemainPct:       43,
+	AmazonNewlyRegistered: 574,
+	AmazonRelocatedIn:     988,
+	SedoSetMar8:           164_000,
+	SedoRemainPct:         1.6,
+	SedoRelocatedIn:       311,
+	CloudflareSetMar7:     315_000,
+	CloudflareRemainPct:   94,
+	CloudflareNewIn:       34_000,
+	GoogleSetMar10:        17_700,
+	GoogleRelocatePct:     57.1,
+	GoogleIntraPct:        75.2,
+	GoogleExternalIn:      187,
+	GoogleNewlyRegistered: 184,
+
+	CertsPerDayPreConflict:   130_000,
+	CertsPerDayPreSanctions:  115_000,
+	CertsPerDayPostSanctions: 115_000,
+	LESharePreConflict:       91.58,
+	LESharePreSanctions:      98.06,
+	LESharePostSanctions:     99.23,
+
+	RevRateLE:         0.06,
+	RevRateDigiCert:   0.80,
+	RevRateGlobalSign: 1.68,
+	RevRateSectigo:    5.15,
+	RevRateZeroSSL:    0.30,
+
+	RevRateLESanc:         1.19,
+	RevRateDigiCertSanc:   100,
+	RevRateGlobalSignSanc: 2.54,
+	RevRateSectigoSanc:    100,
+	RevRateZeroSSLSanc:    2.43,
+
+	SancIssuedLE:         1_600,
+	SancIssuedDigiCert:   308,
+	SancIssuedGlobalSign: 905,
+	SancIssuedSectigo:    164,
+	SancIssuedZeroSSL:    82,
+
+	RussianCACerts:           170,
+	RussianCARuDomains:       130,
+	RussianCARFDomains:       2,
+	RussianCASanctionedCerts: 36,
+}
+
+// Event dates from §3.4 and §4.
+var (
+	NetnodCutoffDay   = simtime.Date(2022, 3, 3)
+	SanctionedNSMoved = simtime.Date(2022, 3, 4)
+	CloudflareStmtDay = simtime.Date(2022, 3, 7)
+	AmazonStmtDay     = simtime.Date(2022, 3, 8)
+	SedoStmtDay       = simtime.Date(2022, 3, 9)
+	GoogleStmtDay     = simtime.Date(2022, 3, 10)
+	GoogleIntraDay    = simtime.Date(2022, 3, 16) // AS15169 → AS396982
+	HetznerExitDay    = simtime.Date(2022, 3, 28)
+	LinodeExitDay     = simtime.Date(2022, 3, 30)
+	RussianCAStartDay = simtime.Date(2022, 3, 10)
+)

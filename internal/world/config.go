@@ -1,0 +1,51 @@
+package world
+
+import "fmt"
+
+// Config controls world generation.
+type Config struct {
+	// Seed makes the world deterministic; two worlds with equal Config
+	// are identical.
+	Seed int64
+	// Scale divides the paper's population counts: Scale=200 simulates
+	// 1/200th of the 11.7M unique domains. Percentage-valued results are
+	// scale-invariant (up to sampling noise); absolute counts in reports
+	// are multiplied back up by Scale.
+	Scale int
+	// RFShare is the fraction of domains under .рф (the rest are .ru).
+	RFShare float64
+	// GeoNoise is the fraction of /24 subnets whose geolocation disagrees
+	// with the operator's true country — the paper's footnote 5 notes "a
+	// small percentage of disagreement in country-level geolocation".
+	// 0 (the default) models a perfect database.
+	GeoNoise float64
+}
+
+// DefaultConfig is the full-fidelity configuration used by cmd/whereru.
+func DefaultConfig() Config {
+	return Config{Seed: 20220224, Scale: 200, RFShare: 0.10}
+}
+
+// TestConfig is a small, fast world for tests and examples.
+func TestConfig() Config {
+	return Config{Seed: 20220224, Scale: 2000, RFShare: 0.10}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Scale < 1 {
+		return fmt.Errorf("world: Scale must be ≥ 1, got %d", c.Scale)
+	}
+	if c.RFShare < 0 || c.RFShare > 1 {
+		return fmt.Errorf("world: RFShare must be in [0,1], got %g", c.RFShare)
+	}
+	if c.GeoNoise < 0 || c.GeoNoise > 0.5 {
+		return fmt.Errorf("world: GeoNoise must be in [0,0.5], got %g", c.GeoNoise)
+	}
+	return nil
+}
+
+// NumDomains returns the number of simulated domains (ever registered).
+func (c Config) NumDomains() int {
+	return int(PaperNumbers.UniqueDomainsEver) / c.Scale
+}

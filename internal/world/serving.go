@@ -1,0 +1,247 @@
+package world
+
+import (
+	"net/netip"
+	"strings"
+
+	"whereru/internal/dns"
+	"whereru/internal/idn"
+	"whereru/internal/simtime"
+)
+
+// buildServing binds the root, TLD and provider authoritative handlers
+// into the in-memory wire. All handlers are dynamic: they consult the
+// simulation clock, so the same binding answers differently on different
+// days — exactly how the measurement pipeline experiences the real world.
+func (w *World) buildServing() error {
+	for _, root := range w.roots {
+		w.Mem.Bind(root, dns.HandlerFunc(w.serveRoot))
+	}
+	for tld, addrs := range w.tldAddrs {
+		handler := w.tldHandler(tld)
+		for _, a := range addrs {
+			w.Mem.Bind(a, handler)
+		}
+	}
+	for _, p := range w.providers {
+		handler := w.providerHandler(p)
+		for _, a := range p.NSAddrs {
+			w.Mem.Bind(a, handler)
+		}
+	}
+	return nil
+}
+
+// serveRoot refers every query to the TLD servers for its rightmost label.
+func (w *World) serveRoot(q *dns.Message, _ netip.Addr) *dns.Message {
+	resp := q.Reply()
+	if len(q.Questions) != 1 {
+		resp.RCode = dns.RCodeNotImp
+		return resp
+	}
+	name := q.Questions[0].Name
+	tld := dns.TLD(name)
+	addrs, ok := w.tldAddrs[tld]
+	if !ok {
+		resp.Authoritative = true
+		resp.RCode = dns.RCodeNXDomain
+		resp.Authority = []dns.RR{dns.NewSOA(".", "a.root-servers.net.", "nstld.verisign-grs.com.", 1)}
+		return resp
+	}
+	zone := tld + "."
+	for i, a := range addrs {
+		host := string(rune('a'+i)) + ".tld-servers." + zone
+		resp.Authority = append(resp.Authority, dns.NewNS(zone, 172800, host))
+		resp.Additional = append(resp.Additional, dns.NewA(host, 172800, a))
+	}
+	return resp
+}
+
+// tldHandler serves one TLD: delegations for provider zones (from their
+// NS names) and — for .ru and .рф — delegations for registered domains
+// according to each domain's configuration on the current simulated day.
+func (w *World) tldHandler(tld string) dns.Handler {
+	zone := tld + "."
+	isRegistryTLD := tld == "ru" || tld == idn.RFTLDASCII
+	return dns.HandlerFunc(func(q *dns.Message, _ netip.Addr) *dns.Message {
+		resp := q.Reply()
+		if len(q.Questions) != 1 {
+			resp.RCode = dns.RCodeNotImp
+			return resp
+		}
+		name := q.Questions[0].Name
+		if !dns.IsSubdomain(name, zone) {
+			resp.RCode = dns.RCodeRefused
+			return resp
+		}
+		now := w.Clock().Now()
+
+		// Provider zones (e.g. nic.ru., sedoparking.com.) win over
+		// registrations: they are infrastructure, not customer names.
+		for z := name; z != zone && z != "."; z = dns.Parent(z) {
+			if p, ok := w.providerZones[z]; ok {
+				w.appendProviderReferral(resp, z, p)
+				return resp
+			}
+		}
+		if isRegistryTLD {
+			if reg := w.registeredAncestor(name, zone); reg != "" {
+				if d, ok := w.domains[reg]; ok && d.ActiveOn(now) {
+					if cfg, ok := d.ConfigAt(now); ok {
+						w.appendDomainReferral(resp, reg, cfg, zone)
+						return resp
+					}
+				}
+			}
+		}
+		resp.Authoritative = true
+		resp.RCode = dns.RCodeNXDomain
+		resp.Authority = []dns.RR{dns.NewSOA(zone, "a.tld-servers."+zone, "hostmaster."+zone, uint32(now))}
+		return resp
+	})
+}
+
+// registeredAncestor trims name to the registration directly under zone.
+func (w *World) registeredAncestor(name, zone string) string {
+	if name == zone {
+		return ""
+	}
+	trimmed := strings.TrimSuffix(name, "."+zone)
+	if trimmed == name { // name == zone handled above
+		return ""
+	}
+	labels := strings.Split(trimmed, ".")
+	return labels[len(labels)-1] + "." + zone
+}
+
+// appendDomainReferral writes the delegation for a registered domain.
+// Glue is attached only for in-bailiwick name servers, as real TLD
+// servers do; out-of-bailiwick server addresses must be resolved
+// separately (which the resolver caches per provider).
+func (w *World) appendDomainReferral(resp *dns.Message, domain string, cfg epochRec, zone string) {
+	hosts, addrs := w.nsSetFor(cfg.DNS)
+	for i, h := range hosts {
+		resp.Authority = append(resp.Authority, dns.NewNS(domain, 3600, h))
+		if dns.IsSubdomain(h, zone) && i < len(addrs) {
+			resp.Additional = append(resp.Additional, dns.NewA(h, 3600, addrs[i]))
+		}
+	}
+}
+
+// appendProviderReferral writes the delegation for a provider's own zone,
+// with glue (providers' NS names are in-bailiwick of their own zones).
+func (w *World) appendProviderReferral(resp *dns.Message, zone string, p *Provider) {
+	for i, h := range p.NSNames {
+		if !dns.IsSubdomain(h, zone) {
+			continue
+		}
+		resp.Authority = append(resp.Authority, dns.NewNS(zone, 172800, h))
+		resp.Additional = append(resp.Additional, dns.NewA(h, 172800, p.NSAddrs[i]))
+	}
+	if len(resp.Authority) == 0 {
+		// NS names under someone else's zone (e.g. googlecloud2 sharing
+		// googledomains.com): delegate with all of the provider's names.
+		for i, h := range p.NSNames {
+			resp.Authority = append(resp.Authority, dns.NewNS(zone, 172800, h))
+			resp.Additional = append(resp.Additional, dns.NewA(h, 172800, p.NSAddrs[i]))
+		}
+	}
+}
+
+// providerHandler answers authoritatively for a provider's NS names, and
+// for any domain whose configuration on the current day delegates to this
+// provider.
+func (w *World) providerHandler(p *Provider) dns.Handler {
+	ownNames := make(map[string]netip.Addr, len(p.NSNames)+1)
+	for i, n := range p.NSNames {
+		ownNames[n] = p.NSAddrs[i]
+	}
+	if p.MailHost != "" {
+		ownNames[p.MailHost] = p.MailAddr
+	}
+	return dns.HandlerFunc(func(q *dns.Message, _ netip.Addr) *dns.Message {
+		resp := q.Reply()
+		if len(q.Questions) != 1 {
+			resp.RCode = dns.RCodeNotImp
+			return resp
+		}
+		question := q.Questions[0]
+		name := question.Name
+		now := w.Clock().Now()
+
+		// The provider's own infrastructure names.
+		if addr, ok := ownNames[name]; ok {
+			resp.Authoritative = true
+			if question.Type == dns.TypeA {
+				resp.Answers = []dns.RR{dns.NewA(name, 3600, addr)}
+			}
+			return resp
+		}
+		// Provider zone apex (e.g. SOA/NS for nic.ru.) — answer minimally.
+		if _, ok := w.providerZones[name]; ok {
+			resp.Authoritative = true
+			if question.Type == dns.TypeNS {
+				for _, h := range p.NSNames {
+					resp.Answers = append(resp.Answers, dns.NewNS(name, 3600, h))
+				}
+			}
+			return resp
+		}
+
+		// Customer domains.
+		d, ok := w.domains[name]
+		if !ok {
+			resp.RCode = dns.RCodeRefused
+			return resp
+		}
+		cfg, ok := d.ConfigAt(now)
+		if !ok {
+			resp.RCode = dns.RCodeRefused
+			return resp
+		}
+		serves := false
+		for _, key := range dnsProfiles[cfg.DNS] {
+			if key == p.Key {
+				serves = true
+				break
+			}
+		}
+		if !serves {
+			// Lame delegation: the domain moved away but something still
+			// points here.
+			resp.RCode = dns.RCodeRefused
+			return resp
+		}
+		resp.Authoritative = true
+		switch question.Type {
+		case dns.TypeNS:
+			hosts, _ := w.nsSetFor(cfg.DNS)
+			for _, h := range hosts {
+				resp.Answers = append(resp.Answers, dns.NewNS(name, 3600, h))
+			}
+		case dns.TypeA:
+			for _, a := range w.hostAddrsFor(name, cfg.Host) {
+				resp.Answers = append(resp.Answers, dns.NewA(name, 300, a))
+			}
+		case dns.TypeMX:
+			if mp := w.MailProviderFor(d, now); mp != nil && mp.MailHost != "" {
+				resp.Answers = []dns.RR{dns.NewMX(name, 3600, 10, mp.MailHost)}
+			}
+		case dns.TypeSOA:
+			resp.Answers = []dns.RR{dns.NewSOA(name, p.NSNames[0], "hostmaster."+name, uint32(now))}
+		}
+		return resp
+	})
+}
+
+// OutageWindow simulates the collection outage the paper notes on
+// 2021-03-22 (footnote 8) by making the registry TLD servers unreachable
+// for the given day when enabled.
+func (w *World) SetOutage(day simtime.Day, enabled bool) {
+	_ = day
+	for _, tld := range []string{"ru", idn.RFTLDASCII} {
+		for _, a := range w.tldAddrs[tld] {
+			w.Mem.SetUnreachable(a, enabled)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package world
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"whereru/internal/ct"
+	"whereru/internal/dns"
+	"whereru/internal/pki"
+	"whereru/internal/simtime"
+)
+
+// buildTest builds one shared small world for the package's tests.
+var testWorld *World
+
+func getWorld(t testing.TB) *World {
+	t.Helper()
+	if testWorld == nil {
+		w, err := Build(TestConfig())
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		testWorld = w
+	}
+	return testWorld
+}
+
+func TestBuildBasics(t *testing.T) {
+	w := getWorld(t)
+	if w.NumDomains() < 5000 {
+		t.Fatalf("NumDomains = %d, want ≥ 5000 at 1:2000 scale", w.NumDomains())
+	}
+	if w.Sanctions.Len() != 107 {
+		t.Fatalf("sanctioned list = %d, want 107", w.Sanctions.Len())
+	}
+	if len(w.Roots()) == 0 {
+		t.Fatal("no root servers")
+	}
+	// Scaled active population: ≈4.95M/2000 ≈ 2475 at study start.
+	active := w.ActiveDomains(simtime.StudyStart)
+	if active < 1800 || active > 3400 {
+		t.Errorf("active at start = %d, want ≈2500", active)
+	}
+	activeEnd := w.ActiveDomains(simtime.StudyEnd)
+	if activeEnd <= active-600 || activeEnd > 4200 {
+		t.Errorf("active at end = %d (start %d), want mild growth", activeEnd, active)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w1, err := Build(Config{Seed: 7, Scale: 20000, RFShare: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Build(Config{Seed: 7, Scale: 20000, RFShare: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.NumDomains() != w2.NumDomains() {
+		t.Fatalf("domain counts differ: %d vs %d", w1.NumDomains(), w2.NumDomains())
+	}
+	for i, name := range w1.names {
+		d1 := w1.domains[name]
+		d2, ok := w2.domains[name]
+		if !ok {
+			t.Fatalf("domain %s missing in second world", name)
+		}
+		if d1.Created != d2.Created || d1.Removed != d2.Removed || len(d1.epochs) != len(d2.epochs) {
+			t.Fatalf("domain %d (%s) differs between builds", i, name)
+		}
+		for j := range d1.epochs {
+			if d1.epochs[j] != d2.epochs[j] {
+				t.Fatalf("epoch %d of %s differs", j, name)
+			}
+		}
+	}
+	// Different seed → different world.
+	w3, err := Build(Config{Seed: 8, Scale: 20000, RFShare: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for _, name := range w1.names {
+		if d3, ok := w3.domains[name]; ok {
+			d1 := w1.domains[name]
+			if d1.Created == d3.Created && len(d1.epochs) == len(d3.epochs) {
+				same++
+			}
+		}
+	}
+	if same == len(w1.names) {
+		t.Error("different seeds produced identical worlds")
+	}
+}
+
+func TestEndToEndResolution(t *testing.T) {
+	w := getWorld(t)
+	w.Clock().Set(simtime.StudyStart)
+	r := w.NewResolver()
+	ctx := context.Background()
+
+	// Find a domain active at study start.
+	var target *DomainRec
+	for _, name := range w.names {
+		d := w.domains[name]
+		if d.ActiveOn(simtime.StudyStart) && !d.Sanctioned {
+			target = d
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no active domain found")
+	}
+	hosts, err := r.LookupNS(ctx, target.Name)
+	if err != nil {
+		t.Fatalf("LookupNS(%s): %v", target.Name, err)
+	}
+	if len(hosts) == 0 {
+		t.Fatalf("no NS for %s", target.Name)
+	}
+	cfg, _ := target.ConfigAt(simtime.StudyStart)
+	wantHosts, _ := w.nsSetFor(cfg.DNS)
+	if len(hosts) != len(wantHosts) {
+		t.Fatalf("NS count = %d, want %d (%v vs %v)", len(hosts), len(wantHosts), hosts, wantHosts)
+	}
+	addrs, err := r.LookupA(ctx, target.Name)
+	if err != nil {
+		t.Fatalf("LookupA(%s): %v", target.Name, err)
+	}
+	want := w.hostAddrsFor(target.Name, cfg.Host)
+	if len(addrs) != len(want) {
+		t.Fatalf("apex addrs = %v, want %v", addrs, want)
+	}
+	// NS host addresses resolve too.
+	for _, h := range hosts {
+		hostAddrs, err := r.LookupHost(ctx, h, 0)
+		if err != nil {
+			t.Fatalf("LookupHost(%s): %v", h, err)
+		}
+		if len(hostAddrs) == 0 {
+			t.Fatalf("no address for NS %s", h)
+		}
+	}
+}
+
+func TestResolutionTracksClock(t *testing.T) {
+	w := getWorld(t)
+	ctx := context.Background()
+
+	// A sanctioned Netnod-secondary domain changes NS set on March 3.
+	name := "sanctioned070.ru." // index 70 ∈ [65,99) → rucenter-netnod
+	d, ok := w.Domain(name)
+	if !ok {
+		t.Fatal("sanctioned070.ru. missing")
+	}
+	cfgBefore, _ := d.ConfigAt(NetnodCutoffDay.Add(-1))
+	if cfgBefore.DNS != "rucenter-netnod" {
+		t.Fatalf("unexpected pre-cutoff profile %q", cfgBefore.DNS)
+	}
+
+	w.Clock().Set(NetnodCutoffDay.Add(-1))
+	r := w.NewResolver()
+	before, err := r.LookupNS(ctx, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Clock().Set(NetnodCutoffDay)
+	r.FlushCache()
+	after, err := r.LookupNS(ctx, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 3 || len(after) != 2 {
+		t.Fatalf("NS sets: before=%v after=%v (want netnod server to vanish)", before, after)
+	}
+	foundNetnod := false
+	for _, h := range before {
+		if h == "dns-ru.netnod.su." {
+			foundNetnod = true
+		}
+	}
+	if !foundNetnod {
+		t.Fatalf("netnod server not in pre-cutoff set %v", before)
+	}
+	for _, h := range after {
+		if h == "dns-ru.netnod.su." {
+			t.Fatal("netnod server still present after cutoff")
+		}
+	}
+}
+
+func TestRemovedDomainGone(t *testing.T) {
+	w := getWorld(t)
+	var removed *DomainRec
+	for _, name := range w.names {
+		d := w.domains[name]
+		if d.Removed != 0 && d.Removed < simtime.StudyEnd {
+			removed = d
+			break
+		}
+	}
+	if removed == nil {
+		t.Skip("no removed domain in this world")
+	}
+	w.Clock().Set(removed.Removed)
+	r := w.NewResolver()
+	res, err := r.Resolve(context.Background(), removed.Name, dns.TypeNS)
+	if err != nil {
+		t.Fatalf("Resolve removed: %v", err)
+	}
+	if res.RCode != dns.RCodeNXDomain {
+		t.Fatalf("removed domain rcode = %v, want NXDOMAIN", res.RCode)
+	}
+}
+
+func TestSanctionedWorld(t *testing.T) {
+	w := getWorld(t)
+	domains := w.Sanctions.AllDomains()
+	if len(domains) != 107 {
+		t.Fatalf("sanctioned = %d", len(domains))
+	}
+	// All registered and resolvable pre-conflict.
+	full, part, non := 0, 0, 0
+	day := simtime.ConflictStart
+	for _, name := range domains {
+		d, ok := w.Domain(name)
+		if !ok || !d.ActiveOn(day) {
+			t.Fatalf("sanctioned %s not active", name)
+		}
+		cfg, _ := d.ConfigAt(day)
+		ru, other := false, false
+		for _, key := range dnsProfiles[cfg.DNS] {
+			if w.providers[key].Country == "RU" {
+				ru = true
+			} else {
+				other = true
+			}
+		}
+		switch {
+		case ru && other:
+			part++
+		case ru:
+			full++
+		default:
+			non++
+		}
+	}
+	// Paper: 34.0% partial, 5.2% non on Feb 24.
+	if part != 36 || non != 6 || full != 65 {
+		t.Fatalf("sanctioned NS on Feb 24: full=%d part=%d non=%d, want 65/36/6", full, part, non)
+	}
+}
+
+func TestCertCorpus(t *testing.T) {
+	w := getWorld(t)
+	if w.Certs.Len() == 0 {
+		t.Fatal("no certificates generated")
+	}
+	if w.CTLog.Size() == 0 {
+		t.Fatal("empty CT log")
+	}
+	// Russian CA certs exist, are unlogged, and are served.
+	rtr := w.Certs.ByIssuer(pki.RussianTrustedRootCA)
+	if len(rtr) != PaperNumbers.RussianCACerts {
+		t.Fatalf("Russian CA certs = %d, want %d", len(rtr), PaperNumbers.RussianCACerts)
+	}
+	for _, c := range rtr {
+		if c.Logged {
+			t.Fatal("Russian CA certificate logged to CT")
+		}
+	}
+	if w.Scanner.NumEndpoints() < PaperNumbers.RussianCACerts {
+		t.Fatalf("scanner endpoints = %d", w.Scanner.NumEndpoints())
+	}
+	// CT log integrity: verify a couple of inclusion proofs.
+	head := w.CTLog.Head()
+	for _, idx := range []int64{0, head.Size / 2, head.Size - 1} {
+		e, err := w.CTLog.Entry(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, err := w.CTLog.InclusionProof(idx, head.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ct.VerifyInclusion(e.Cert.Marshal(), idx, head.Size, proof, head.Root) {
+			t.Fatalf("inclusion proof failed for entry %d", idx)
+		}
+	}
+}
+
+func TestGeoNoiseShiftsClassification(t *testing.T) {
+	clean, err := Build(Config{Seed: 11, Scale: 20000, RFShare: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Build(Config{Seed: 11, Scale: 20000, RFShare: 0.1, GeoNoise: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := simtime.ConflictStart
+	// Count how many of REG.RU's pool addresses geolocate to RU in each.
+	p1, _ := clean.Provider("regru")
+	p2, _ := noisy.Provider("regru")
+	countRU := func(w *World, pool []netip.Addr) int {
+		n := 0
+		for _, a := range pool {
+			if c, ok := w.Geo.Lookup(day, a); ok && c == "RU" {
+				n++
+			}
+		}
+		return n
+	}
+	cleanRU := countRU(clean, p1.HostPool)
+	noisyRU := countRU(noisy, p2.HostPool)
+	if cleanRU != len(p1.HostPool) {
+		t.Fatalf("clean world mislocates %d addresses", len(p1.HostPool)-cleanRU)
+	}
+	if noisyRU >= len(p2.HostPool) {
+		t.Skip("noise did not hit this pool at this seed; acceptable (probabilistic)")
+	}
+	// Bad GeoNoise rejected.
+	if _, err := Build(Config{Seed: 1, Scale: 20000, RFShare: 0.1, GeoNoise: 0.9}); err == nil {
+		t.Error("GeoNoise 0.9 accepted")
+	}
+}

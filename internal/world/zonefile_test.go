@@ -1,0 +1,111 @@
+package world
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"whereru/internal/dns"
+	"whereru/internal/dns/zone"
+	"whereru/internal/simtime"
+)
+
+func TestExportZoneSeedsMatchRegistry(t *testing.T) {
+	w := getWorld(t)
+	day := simtime.ConflictStart
+	z, err := w.ExportZone("ru.", day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := SeedsFromZone(z)
+	var want []string
+	for _, r := range w.Registries.Registries() {
+		if r.TLD == "ru." {
+			want = r.ZoneSnapshot(day)
+		}
+	}
+	if len(seeds) != len(want) {
+		t.Fatalf("zone seeds = %d, registry snapshot = %d", len(seeds), len(want))
+	}
+	if !reflect.DeepEqual(seeds, want) {
+		t.Fatal("seed lists differ")
+	}
+}
+
+func TestExportZoneRoundTripsThroughParser(t *testing.T) {
+	w := getWorld(t)
+	z, err := w.ExportZone("xn--p1ai.", simtime.ConflictStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := z.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := zone.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v", err)
+	}
+	if back.Origin != "xn--p1ai." {
+		t.Fatalf("origin = %q", back.Origin)
+	}
+	if back.Size() != z.Size() {
+		t.Fatalf("size after round trip: %d vs %d", back.Size(), z.Size())
+	}
+	if !reflect.DeepEqual(SeedsFromZone(z), SeedsFromZone(back)) {
+		t.Fatal("seeds changed through serialization")
+	}
+}
+
+func TestExportZoneTracksDate(t *testing.T) {
+	w := getWorld(t)
+	before, err := w.ExportZone("ru.", NetnodCutoffDay.Add(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := w.ExportZone("ru.", NetnodCutoffDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Netnod customers' delegations lose their third NS record.
+	nsBefore := before.Lookup("sanctioned070.ru.", dns.TypeNS)
+	nsAfter := after.Lookup("sanctioned070.ru.", dns.TypeNS)
+	if len(nsBefore) != 3 || len(nsAfter) != 2 {
+		t.Fatalf("NS counts across cutoff: %d → %d, want 3 → 2", len(nsBefore), len(nsAfter))
+	}
+	// SOA serials encode the date.
+	soaB := before.SOA().Data.(dns.SOAData).Serial
+	soaA := after.SOA().Data.(dns.SOAData).Serial
+	if soaB >= soaA {
+		t.Fatalf("serials not increasing: %d then %d", soaB, soaA)
+	}
+}
+
+func TestExportZoneErrors(t *testing.T) {
+	w := getWorld(t)
+	if _, err := w.ExportZone("dk.", 0); err == nil {
+		t.Error("unserved TLD exported")
+	}
+	if _, err := w.ExportZone("com.", 0); err == nil {
+		t.Error("non-registry TLD exported")
+	}
+}
+
+func TestZoneDelegationsQueryable(t *testing.T) {
+	w := getWorld(t)
+	day := simtime.ConflictStart
+	z, err := w.ExportZone("ru.", day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := SeedsFromZone(z)
+	// The zone answers referrals for its delegations, like a real TLD
+	// server loaded from this file would.
+	ans := z.Query(seeds[0], dns.TypeA)
+	if ans.Authoritative {
+		t.Fatal("delegation answered authoritatively")
+	}
+	if len(ans.Authority) == 0 {
+		t.Fatalf("no referral for %s", seeds[0])
+	}
+}
