@@ -241,6 +241,31 @@ func BenchmarkSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepLossy is BenchmarkSweep over a degraded wire: 10%
+// injected packet loss with two retries, quantifying what deterministic
+// fault injection plus recovery costs relative to the clean sweep.
+func BenchmarkSweepLossy(b *testing.B) {
+	s := study(b)
+	resolver, _ := s.World.NewFaultyResolver(s.Opts.World.Seed, dns.FaultProfile{Loss: 0.10})
+	pipe := &openintel.Pipeline{
+		Resolver: resolver,
+		Seeds:    s.World.Registries,
+		Clock:    s.World.Clock(),
+		Store:    store.New(),
+		Workers:  8,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := pipe.Sweep(context.Background(), simtime.ConflictStart)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Failed > stats.Domains/100 {
+			b.Fatalf("lossy sweep failed %d/%d domains", stats.Failed, stats.Domains)
+		}
+	}
+}
+
 // BenchmarkWorldBuild measures constructing the whole ecosystem
 // (providers, domains, events, certificates, CT log).
 func BenchmarkWorldBuild(b *testing.B) {

@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	dnsdig [-date 2022-03-03] [-type NS|A] [-scale N] [-serve] name
+//	dnsdig [-date 2022-03-03] [-type NS|A] [-scale N] [-loss 0.1] [-retries 2] [-serve] name
+//
+// With -loss the resolution runs through the deterministic fault layer:
+// every exchange is dropped with the given probability, retries and
+// recoveries are reported, and the same -seed replays the same faults.
 package main
 
 import (
@@ -33,7 +37,9 @@ func run() error {
 	date := flag.String("date", simtime.ConflictStart.String(), "simulation date (YYYY-MM-DD)")
 	qtype := flag.String("type", "A", "query type (A, NS, SOA, ...)")
 	scale := flag.Int("scale", 2000, "world scale divisor")
-	seed := flag.Int64("seed", 20220224, "world seed")
+	seed := flag.Int64("seed", 20220224, "world seed (also seeds fault injection)")
+	loss := flag.Float64("loss", 0, "injected packet-loss probability [0,1] on every server")
+	retries := flag.Int("retries", 2, "query retransmissions after the first attempt")
 	serve := flag.Bool("serve", false, "round-trip the query over a real UDP socket")
 	trace := flag.Bool("trace", false, "print each delegation step (dig +trace style)")
 	flag.Parse()
@@ -57,6 +63,13 @@ func run() error {
 	}
 	w.Clock().Set(day)
 	resolver := w.NewResolver()
+	var faults *dns.FaultTransport
+	if *loss > 0 {
+		// Lossy mode: the same -seed reproduces the same drops, so a
+		// flaky-looking resolution can be replayed exactly.
+		resolver, faults = w.NewFaultyResolver(*seed, dns.FaultProfile{Loss: *loss})
+	}
+	resolver.Client.Retries = *retries
 	if *trace {
 		resolver.Trace = func(s dns.TraceStep) {
 			outcome := fmt.Sprintf("%s, %d answers", s.RCode, s.Answers)
@@ -79,6 +92,12 @@ func run() error {
 	}
 	for _, rr := range res.Answers {
 		fmt.Println(rr)
+	}
+	if faults != nil {
+		fs := faults.Stats()
+		cs := resolver.Client.Stats()
+		fmt.Printf(";; faults: %d exchanges, %d dropped, %d servfail, %d truncated; client: %d retries, %d recovered\n",
+			fs.Exchanges, fs.Dropped, fs.ServFails, fs.Truncated, cs.Retries, cs.Recovered)
 	}
 
 	if *serve {

@@ -629,8 +629,12 @@ func (s *Study) ExperimentsMarkdown(w io.Writer) error {
 	fmt.Fprintf(w, "- Table 2 sanctioned issuance counts are scaled (Let's Encrypt's 16k\n")
 	fmt.Fprintf(w, "  modeled at 1:10 before world scaling); revocation *rates* — the table's\n")
 	fmt.Fprintf(w, "  signal — are preserved, including 100%% for DigiCert and Sectigo.\n")
-	fmt.Fprintf(w, "- The 2021-03-22 measurement outage (paper footnote 8) is supported via\n")
-	fmt.Fprintf(w, "  `World.SetOutage` but not enabled in the default schedule.\n")
+	fmt.Fprintf(w, "- The 2021-03-22 measurement outage (paper footnote 8) is supported as a\n")
+	fmt.Fprintf(w, "  scheduled fault-profile window (`Options.SimulateOutage`, applied to the\n")
+	fmt.Fprintf(w, "  registry TLD servers via `dns.FaultTransport`) but not enabled in the\n")
+	fmt.Fprintf(w, "  default schedule. Injected packet loss (`Options.Loss`) is likewise\n")
+	fmt.Fprintf(w, "  off by default; when enabled, per-sweep retry/recovery counts are\n")
+	fmt.Fprintf(w, "  recorded in `SweepStats`.\n")
 	return nil
 }
 

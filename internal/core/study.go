@@ -11,6 +11,8 @@ import (
 	"io"
 
 	"whereru/internal/analysis"
+	"whereru/internal/dns"
+	"whereru/internal/netsim"
 	"whereru/internal/openintel"
 	"whereru/internal/scan"
 	"whereru/internal/simtime"
@@ -32,6 +34,20 @@ type Options struct {
 	// CollectMX enables the mail-measurement extension (MX records are
 	// collected alongside NS/A, enabling the mail-concentration analyses).
 	CollectMX bool
+	// Loss is the per-exchange packet-loss probability injected into
+	// every sweep (0, the default, disables fault injection). Retries in
+	// the resolver stack recover almost all injected loss; the recovery
+	// is quantified in each sweep's SweepStats.
+	Loss float64
+	// FaultSeed seeds the fault-injection layer and the DNS client's
+	// query IDs; 0 reuses the world seed. Fault decisions are pure
+	// functions of the seed and the query, so a fixed seed reproduces the
+	// same degraded measurements run after run.
+	FaultSeed int64
+	// SimulateOutage schedules the paper's 2021-03-22 collection outage
+	// (footnote 8) as a fault-profile outage window on the registry TLD
+	// servers — the declarative re-expression of World.SetOutage.
+	SimulateOutage bool
 	// Progress, if non-nil, receives human-readable progress lines.
 	Progress func(format string, args ...any)
 }
@@ -54,6 +70,9 @@ type Study struct {
 	Store    *store.Store
 	Analyzer *analysis.Analyzer
 	Archive  *scan.Archive
+	// Outages records the scheduled outage windows in effect during
+	// collection (day-indexed, keyed by "tld:<label>").
+	Outages *netsim.OutageSchedule
 	// Sweeps are the measurement days collected.
 	Sweeps []simtime.Day
 	// Stats summarizes each sweep.
@@ -89,6 +108,7 @@ func New(opts Options) (*Study, error) {
 		Store:    st,
 		Analyzer: &analysis.Analyzer{Store: st, Geo: w.Geo, Internet: w.Internet},
 		Archive:  scan.NewArchive(),
+		Outages:  netsim.NewOutageSchedule(),
 	}, nil
 }
 
@@ -97,8 +117,21 @@ func New(opts Options) (*Study, error) {
 // Russian-CA window.
 func (s *Study) Collect(ctx context.Context) error {
 	s.Sweeps = openintel.Schedule(simtime.StudyStart, simtime.StudyEnd, s.Opts.DenseFrom, s.Opts.DenseStep)
+	resolver := s.World.NewResolver()
+	if s.Opts.Loss > 0 || s.Opts.SimulateOutage {
+		seed := s.Opts.FaultSeed
+		if seed == 0 {
+			seed = s.Opts.World.Seed
+		}
+		profile := dns.FaultProfile{Loss: s.Opts.Loss}
+		r, ft := s.World.NewFaultyResolver(seed, profile)
+		if s.Opts.SimulateOutage {
+			s.World.ScheduleRegistryOutage(ft, profile, simtime.OneDay(simtime.MeasurementOutage), s.Outages)
+		}
+		resolver = r
+	}
 	pipe := &openintel.Pipeline{
-		Resolver:  s.World.NewResolver(),
+		Resolver:  resolver,
 		Seeds:     s.World.Registries,
 		Clock:     s.World.Clock(),
 		Store:     s.Store,

@@ -1,0 +1,297 @@
+package dns
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"whereru/internal/netsim"
+	"whereru/internal/simtime"
+)
+
+// echoNet returns a MemNet with a single authoritative handler bound at
+// addr answering every A question with answerAddr.
+func echoNet(addr, answerAddr netip.Addr) *MemNet {
+	net := NewMemNet()
+	net.Bind(addr, HandlerFunc(func(q *Message, _ netip.Addr) *Message {
+		resp := q.Reply()
+		resp.Authoritative = true
+		resp.Answers = []RR{NewA(q.Questions[0].Name, 300, answerAddr)}
+		return resp
+	}))
+	return net
+}
+
+func TestFaultTransportZeroProfilePassesThrough(t *testing.T) {
+	server := mustAddr("11.0.0.1")
+	ft := NewFaultTransport(echoNet(server, mustAddr("11.0.1.1")), 1, nil)
+	// No profiles at all: transparent.
+	resp, err := ft.Exchange(context.Background(), server, NewQuery(1, "a.ru.", TypeA))
+	if err != nil || len(resp.Answers) != 1 {
+		t.Fatalf("pass-through failed: %v %v", resp, err)
+	}
+	if st := ft.Stats(); st.Exchanges != 0 {
+		t.Errorf("transparent exchange counted as faulted: %+v", st)
+	}
+	// An explicit zero-value profile is also transparent.
+	ft.SetDefault(FaultProfile{})
+	if _, err := ft.Exchange(context.Background(), server, NewQuery(2, "b.ru.", TypeA)); err != nil {
+		t.Fatalf("zero profile injected a fault: %v", err)
+	}
+}
+
+func TestFaultTransportLossRateAndDeterminism(t *testing.T) {
+	server := mustAddr("11.0.0.1")
+	ft := NewFaultTransport(echoNet(server, mustAddr("11.0.1.1")), 42, nil)
+	ft.SetDefault(FaultProfile{Loss: 0.3})
+	ctx := context.Background()
+
+	outcome := func(tr *FaultTransport, i int) bool {
+		q := NewQuery(uint16(i), fmt.Sprintf("d%04d.ru.", i), TypeA)
+		_, err := tr.Exchange(ctx, server, q)
+		return err == nil
+	}
+	const n = 2000
+	dropped := 0
+	first := make([]bool, n)
+	for i := 0; i < n; i++ {
+		first[i] = outcome(ft, i)
+		if !first[i] {
+			dropped++
+		}
+	}
+	if rate := float64(dropped) / n; rate < 0.25 || rate > 0.35 {
+		t.Errorf("loss rate = %.3f, want ≈ 0.30", rate)
+	}
+	// Same seed: every exchange meets the same fate, in any order.
+	ft2 := NewFaultTransport(echoNet(server, mustAddr("11.0.1.1")), 42, nil)
+	ft2.SetDefault(FaultProfile{Loss: 0.3})
+	for i := n - 1; i >= 0; i-- {
+		if outcome(ft2, i) != first[i] {
+			t.Fatalf("exchange %d fate differs under the same seed", i)
+		}
+	}
+	// Different seed: a different drop pattern.
+	ft3 := NewFaultTransport(echoNet(server, mustAddr("11.0.1.1")), 43, nil)
+	ft3.SetDefault(FaultProfile{Loss: 0.3})
+	same := 0
+	for i := 0; i < n; i++ {
+		if outcome(ft3, i) == first[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("seed 43 reproduced seed 42's drop pattern exactly")
+	}
+	// Injected losses read as unreachability to existing callers.
+	st := ft.Stats()
+	if st.Dropped == 0 || st.Exchanges != n {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFaultTransportLossErrorIsNoRoute(t *testing.T) {
+	server := mustAddr("11.0.0.1")
+	ft := NewFaultTransport(echoNet(server, mustAddr("11.0.1.1")), 1, nil)
+	ft.SetServer(server, FaultProfile{Loss: 1})
+	_, err := ft.Exchange(context.Background(), server, NewQuery(1, "x.ru.", TypeA))
+	if !errors.Is(err, ErrNoRoute) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected loss error = %v, want ErrNoRoute and ErrInjected", err)
+	}
+}
+
+func TestFaultTransportServFailAndTruncate(t *testing.T) {
+	server := mustAddr("11.0.0.1")
+	ft := NewFaultTransport(echoNet(server, mustAddr("11.0.1.1")), 1, nil)
+	ft.SetServer(server, FaultProfile{ServFail: 1})
+	resp, err := ft.Exchange(context.Background(), server, NewQuery(7, "x.ru.", TypeA))
+	if err != nil || resp.RCode != RCodeServFail || len(resp.Answers) != 0 {
+		t.Fatalf("servfail flap: resp=%v err=%v", resp, err)
+	}
+	if resp.ID != 7 {
+		t.Errorf("flapped response ID = %d, want 7", resp.ID)
+	}
+
+	ft.SetServer(server, FaultProfile{Truncate: 1})
+	resp, err = ft.Exchange(context.Background(), server, NewQuery(8, "x.ru.", TypeA))
+	if err != nil || !resp.Truncated || len(resp.Answers) != 0 {
+		t.Fatalf("truncation: resp=%v err=%v", resp, err)
+	}
+	if len(resp.Questions) != 1 || resp.Questions[0].Name != "x.ru." {
+		t.Errorf("truncated response lost its question: %v", resp.Questions)
+	}
+	st := ft.Stats()
+	if st.ServFails != 1 || st.Truncated != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFaultTransportOutageWindow(t *testing.T) {
+	server := mustAddr("11.0.0.1")
+	clock := netsim.NewClock(simtime.Date(2022, 3, 2))
+	ft := NewFaultTransport(echoNet(server, mustAddr("11.0.1.1")), 1, clock)
+	ft.SetServer(server, FaultProfile{Outages: []simtime.Window{
+		{From: simtime.Date(2022, 3, 3), To: simtime.Date(2022, 3, 5)},
+	}})
+	ctx := context.Background()
+	q := func() error {
+		_, err := ft.Exchange(ctx, server, NewQuery(1, "x.ru.", TypeA))
+		return err
+	}
+	if err := q(); err != nil {
+		t.Fatalf("day before window: %v", err)
+	}
+	for d := simtime.Date(2022, 3, 3); d <= simtime.Date(2022, 3, 5); d++ {
+		clock.Set(d)
+		if err := q(); !errors.Is(err, ErrNoRoute) {
+			t.Fatalf("day %s inside window: err=%v, want ErrNoRoute", d, err)
+		}
+	}
+	clock.Set(simtime.Date(2022, 3, 6))
+	if err := q(); err != nil {
+		t.Fatalf("day after window: %v — the outage did not lift itself", err)
+	}
+	if st := ft.Stats(); st.Outaged != 3 {
+		t.Errorf("outaged = %d, want 3", st.Outaged)
+	}
+}
+
+func TestFaultTransportProfilePrecedence(t *testing.T) {
+	inside := mustAddr("11.0.0.1")
+	alsoInside := mustAddr("11.0.200.1")
+	outside := mustAddr("12.0.0.1")
+	net := NewMemNet()
+	for _, a := range []netip.Addr{inside, alsoInside, outside} {
+		addr := a
+		net.Bind(addr, HandlerFunc(func(q *Message, _ netip.Addr) *Message {
+			resp := q.Reply()
+			resp.Answers = []RR{NewA(q.Questions[0].Name, 300, addr)}
+			return resp
+		}))
+	}
+	ft := NewFaultTransport(net, 1, nil)
+	ft.SetDefault(FaultProfile{Loss: 1})
+	ft.SetPrefix(netip.MustParsePrefix("11.0.0.0/8"), FaultProfile{ServFail: 1})
+	ft.SetPrefix(netip.MustParsePrefix("11.0.0.0/16"), FaultProfile{Truncate: 1})
+	ft.SetServer(inside, FaultProfile{}) // exact match exempts entirely
+	ctx := context.Background()
+
+	// Exact server profile beats prefixes and default.
+	resp, err := ft.Exchange(ctx, inside, NewQuery(1, "a.ru.", TypeA))
+	if err != nil || resp.Truncated || resp.RCode != RCodeNoError {
+		t.Fatalf("server-exempt exchange: resp=%v err=%v", resp, err)
+	}
+	// Longest prefix wins: /16 truncates, not /8 servfail.
+	resp, err = ft.Exchange(ctx, alsoInside, NewQuery(2, "b.ru.", TypeA))
+	if err != nil || !resp.Truncated {
+		t.Fatalf("/16 profile not applied: resp=%v err=%v", resp, err)
+	}
+	// No prefix match: the default drops.
+	if _, err := ft.Exchange(ctx, outside, NewQuery(3, "c.ru.", TypeA)); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("default profile not applied: %v", err)
+	}
+}
+
+func TestSeededClientDeterministicIDs(t *testing.T) {
+	server := mustAddr("11.0.0.1")
+	var ids1, ids2 []uint16
+	collect := func(out *[]uint16, seed int64) {
+		net := echoNet(server, mustAddr("11.0.1.1"))
+		net.SetTap(func(_ netip.Addr, q *Message) { *out = append(*out, q.ID) })
+		c := NewSeededClient(net, seed)
+		for _, name := range []string{"a.ru.", "b.ru.", "a.ru."} {
+			if _, err := c.Query(context.Background(), server, name, TypeA); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	collect(&ids1, 99)
+	collect(&ids2, 99)
+	if len(ids1) != 3 || len(ids2) != 3 {
+		t.Fatalf("query counts: %d, %d", len(ids1), len(ids2))
+	}
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			t.Fatalf("IDs diverge at %d: %v vs %v", i, ids1, ids2)
+		}
+	}
+	if ids1[0] != ids1[2] {
+		t.Errorf("same (name, type, attempt) produced different IDs: %v", ids1)
+	}
+	var ids3 []uint16
+	collect(&ids3, 100)
+	if ids3[0] == ids1[0] && ids3[1] == ids1[1] {
+		t.Error("different seeds produced identical IDs")
+	}
+}
+
+func TestClientRetriesRecoverInjectedLoss(t *testing.T) {
+	server := mustAddr("11.0.0.1")
+	ft := NewFaultTransport(echoNet(server, mustAddr("11.0.1.1")), 5, nil)
+	ft.SetDefault(FaultProfile{Loss: 0.5})
+	c := NewSeededClient(ft, 5)
+	c.Retries = 4
+	ok, failed := 0, 0
+	for i := 0; i < 500; i++ {
+		if _, err := c.Query(context.Background(), server, fmt.Sprintf("d%03d.ru.", i), TypeA); err != nil {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	// Per-query failure probability is 0.5^5 ≈ 3%; without retries it
+	// would be 50%.
+	if failed > 40 {
+		t.Errorf("%d/%d queries failed despite retries", failed, ok+failed)
+	}
+	st := c.Stats()
+	if st.Retries == 0 || st.Recovered == 0 {
+		t.Errorf("client stats did not track recovery: %+v", st)
+	}
+	if st.Queries != 500 {
+		t.Errorf("queries = %d, want 500", st.Queries)
+	}
+}
+
+func TestClientRetriesServFailFlaps(t *testing.T) {
+	server := mustAddr("11.0.0.1")
+	ft := NewFaultTransport(echoNet(server, mustAddr("11.0.1.1")), 9, nil)
+	ft.SetDefault(FaultProfile{ServFail: 0.5, Truncate: 0.2})
+	c := NewSeededClient(ft, 9)
+	c.Retries = 5
+	bad := 0
+	for i := 0; i < 300; i++ {
+		resp, err := c.Query(context.Background(), server, fmt.Sprintf("f%03d.ru.", i), TypeA)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if resp.RCode == RCodeServFail || resp.Truncated {
+			bad++
+		}
+	}
+	// A persistent flap needs 6 consecutive bad draws (p ≈ 0.6^6 ≈ 5%).
+	if bad > 45 {
+		t.Errorf("%d/300 queries still flapped through %d attempts", bad, c.Retries+1)
+	}
+}
+
+func TestClientBackoffHonorsContext(t *testing.T) {
+	server := mustAddr("11.0.0.1")
+	ft := NewFaultTransport(echoNet(server, mustAddr("11.0.1.1")), 3, nil)
+	ft.SetDefault(FaultProfile{Loss: 1})
+	c := NewSeededClient(ft, 3)
+	c.Retries = 8
+	c.Backoff = 10 * time.Second // would sleep ~minutes without ctx
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Query(ctx, server, "x.ru.", TypeA); err == nil {
+		t.Fatal("query over a fully lossy path succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("backoff ignored context cancellation (%v elapsed)", elapsed)
+	}
+}

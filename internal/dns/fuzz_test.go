@@ -18,6 +18,24 @@ func FuzzDecode(f *testing.F) {
 	if w, err := q.Encode(); err == nil {
 		f.Add(w)
 	}
+	// Shapes the fault layer emits on a degraded wire: SERVFAIL flaps,
+	// TC-stripped responses, and datagrams cut mid-record.
+	flap := NewQuery(10, "flap.ru.", TypeA).Reply()
+	flap.RCode = RCodeServFail
+	if w, err := flap.Encode(); err == nil {
+		f.Add(w)
+	}
+	full := sampleMessage()
+	if w, err := Truncate(full).Encode(); err == nil {
+		f.Add(w)
+	}
+	if w, err := full.Encode(); err == nil && len(w) > 12 {
+		f.Add(w[:len(w)/2]) // cut inside a record
+		f.Add(w[:12])       // header only, counts promise more
+		garbled := bytes.Clone(w)
+		garbled[4] ^= 0xFF // QDCOUNT scrambled
+		f.Add(garbled)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {

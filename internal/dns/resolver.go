@@ -32,6 +32,10 @@ type Resolver struct {
 	mu        sync.RWMutex
 	zoneCache map[string][]netip.Addr // zone cut -> authoritative addrs
 	hostCache map[string][]netip.Addr // ns host -> addresses
+	// hostNeg negative-caches NS-host lookups that failed: without it, a
+	// dead name-server host is fully re-resolved (root → TLD → nothing)
+	// for every one of the ~100k domains delegated to it in a sweep.
+	hostNeg map[string]bool
 }
 
 // NewResolver builds a resolver over the transport with the given root hints.
@@ -43,15 +47,18 @@ func NewResolver(t Transport, roots []netip.Addr) *Resolver {
 		MaxCNAME:  8,
 		zoneCache: make(map[string][]netip.Addr),
 		hostCache: make(map[string][]netip.Addr),
+		hostNeg:   make(map[string]bool),
 	}
 }
 
-// FlushCache clears both caches. Call when the simulated date advances.
+// FlushCache clears all caches (including negative entries). Call when
+// the simulated date advances.
 func (r *Resolver) FlushCache() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.zoneCache = make(map[string][]netip.Addr)
 	r.hostCache = make(map[string][]netip.Addr)
+	r.hostNeg = make(map[string]bool)
 }
 
 // CacheStats reports cache sizes, for the ablation benchmarks.
@@ -237,18 +244,44 @@ func (r *Resolver) resolveNoCNAME(ctx context.Context, name string, qtype Type, 
 	return nil, fmt.Errorf("%w: referral limit exceeded for %s", ErrResolutionFailed, name)
 }
 
-// queryAny tries each server until one answers, reporting which did.
+// queryAny tries servers until one answers usefully, reporting which
+// did. The starting server is rotated by a name-derived offset instead
+// of always hammering the first of the set — under injected loss, a
+// fixed order concentrates retries (and failures) on one server while
+// its siblings sit idle. SERVFAIL responses fail over to the next server
+// the way real resolvers do; only if every server flaps is the SERVFAIL
+// handed to the caller.
 func (r *Resolver) queryAny(ctx context.Context, servers []netip.Addr, name string, qtype Type) (*Message, netip.Addr, error) {
+	start := 0
+	if n := len(servers); n > 1 {
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(name); i++ {
+			h ^= uint64(name[i])
+			h *= 1099511628211
+		}
+		start = int((h ^ uint64(qtype)) % uint64(n))
+	}
 	var lastErr error
-	for _, s := range servers {
+	var flapped *Message
+	var flappedSrv netip.Addr
+	for i := 0; i < len(servers); i++ {
+		s := servers[(start+i)%len(servers)]
 		resp, err := r.Client.Query(ctx, s, name, qtype)
-		if err == nil {
-			return resp, s, nil
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, netip.Addr{}, ctx.Err()
+			}
+			continue
 		}
-		lastErr = err
-		if ctx.Err() != nil {
-			return nil, netip.Addr{}, ctx.Err()
+		if resp.RCode == RCodeServFail {
+			flapped, flappedSrv = resp, s
+			continue
 		}
+		return resp, s, nil
+	}
+	if flapped != nil {
+		return flapped, flappedSrv, nil
 	}
 	return nil, netip.Addr{}, lastErr
 }
@@ -260,17 +293,28 @@ func (r *Resolver) trace(step TraceStep) {
 }
 
 // LookupHost resolves the A records for a host (used for name-server
-// addresses), consulting the host cache first.
+// addresses), consulting the host cache — positive and negative — first.
+// Failed lookups are negative-cached until FlushCache so a dead NS host
+// costs one resolution per sweep, not one per delegated domain.
 func (r *Resolver) LookupHost(ctx context.Context, host string, depth int) ([]netip.Addr, error) {
 	host = Canonical(host)
 	r.mu.RLock()
 	cached, ok := r.hostCache[host]
+	neg := r.hostNeg[host]
 	r.mu.RUnlock()
 	if ok {
 		return cached, nil
 	}
+	if neg {
+		return nil, fmt.Errorf("%w: host %s (negative-cached)", ErrResolutionFailed, host)
+	}
 	res, err := r.resolve(ctx, host, TypeA, depth)
 	if err != nil {
+		if ctx.Err() == nil {
+			r.mu.Lock()
+			r.hostNeg[host] = true
+			r.mu.Unlock()
+		}
 		return nil, err
 	}
 	addrs := make([]netip.Addr, 0, len(res.Answers))

@@ -229,6 +229,149 @@ func TestUnreachableServerFailsOver(t *testing.T) {
 	}
 }
 
+func TestLookupHostNegativeCache(t *testing.T) {
+	net, roots := buildTestInternet(t)
+	comTLD := mustAddr("192.5.6.30")
+	hostCom := mustAddr("172.64.32.99")
+	var queries int
+	net.SetTap(func(netip.Addr, *Message) { queries++ })
+	r := NewResolver(net, roots)
+	r.Client.Retries = 1
+	ctx := context.Background()
+
+	// The whole .com branch is down, so ns1.hosting.com cannot be
+	// resolved and no glue for it is ever learned.
+	net.SetUnreachable(comTLD, true)
+	if _, err := r.LookupHost(ctx, "ns1.hosting.com.", 0); err == nil {
+		t.Fatal("LookupHost succeeded with authoritative down")
+	}
+	first := queries
+	if first == 0 {
+		t.Fatal("first lookup sent no queries")
+	}
+
+	// Second lookup must be answered from the negative cache: zero
+	// queries on the wire.
+	if _, err := r.LookupHost(ctx, "ns1.hosting.com.", 0); err == nil {
+		t.Fatal("negative-cached lookup succeeded")
+	}
+	if delta := queries - first; delta != 0 {
+		t.Errorf("negative-cached LookupHost sent %d queries, want 0", delta)
+	}
+
+	// A domain delegated to the dead host fails fast too: only the
+	// referral chase (root + ru TLD), no renewed expedition into .com.
+	before := queries
+	if _, err := r.LookupA(ctx, "foreign.ru."); err == nil {
+		t.Fatal("foreign.ru resolved through a dead name server")
+	}
+	if delta := queries - before; delta > 2 {
+		t.Errorf("lame-delegation resolution sent %d queries, want ≤ 2 (referrals only)", delta)
+	}
+
+	// FlushCache forgets the negative entry, so recovery is observable.
+	net.SetUnreachable(comTLD, false)
+	if _, err := r.LookupHost(ctx, "ns1.hosting.com.", 0); err == nil {
+		t.Fatal("stale negative entry should still answer until flushed")
+	}
+	r.FlushCache()
+	addrs, err := r.LookupHost(ctx, "ns1.hosting.com.", 0)
+	if err != nil {
+		t.Fatalf("post-flush lookup: %v", err)
+	}
+	if len(addrs) != 1 || addrs[0] != hostCom {
+		t.Fatalf("post-flush addrs = %v", addrs)
+	}
+}
+
+func TestLookupHostCancellationDoesNotPoisonCache(t *testing.T) {
+	net, roots := buildTestInternet(t)
+	r := NewResolver(net, roots)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.LookupHost(cancelled, "ns1.reg.ru.", 0); err == nil {
+		t.Fatal("cancelled lookup succeeded")
+	}
+	// The failure above was the caller's, not the host's: a fresh context
+	// must resolve normally.
+	addrs, err := r.LookupHost(context.Background(), "ns1.reg.ru.", 0)
+	if err != nil {
+		t.Fatalf("lookup after cancellation: %v", err)
+	}
+	if len(addrs) != 1 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+}
+
+// twoServerRoot binds two root servers that answer every A query
+// authoritatively, returning the MemNet and the root addresses.
+func twoServerRoot(build func(server netip.Addr) Handler) (*MemNet, []netip.Addr) {
+	net := NewMemNet()
+	roots := []netip.Addr{mustAddr("198.41.0.4"), mustAddr("199.9.14.201")}
+	for _, a := range roots {
+		net.Bind(a, build(a))
+	}
+	return net, roots
+}
+
+func TestQueryAnyRotatesAcrossServers(t *testing.T) {
+	answer := func(server netip.Addr) Handler {
+		return HandlerFunc(func(q *Message, _ netip.Addr) *Message {
+			resp := q.Reply()
+			resp.Authoritative = true
+			resp.Answers = []RR{NewA(q.Questions[0].Name, 300, server)}
+			return resp
+		})
+	}
+	net, roots := twoServerRoot(answer)
+	hit := map[netip.Addr]int{}
+	net.SetTap(func(server netip.Addr, _ *Message) { hit[server]++ })
+	r := NewResolver(net, roots)
+	ctx := context.Background()
+	for i := 0; i < 16; i++ {
+		if _, err := r.LookupA(ctx, Canonical(string(rune('a'+i))+".ru.")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The per-name rotation offset must spread first attempts over both
+	// servers rather than hammering servers[0].
+	if hit[roots[0]] == 0 || hit[roots[1]] == 0 {
+		t.Errorf("rotation left a server cold: %v", hit)
+	}
+}
+
+func TestQueryAnyFailsOverServFail(t *testing.T) {
+	flaky := mustAddr("198.41.0.4")
+	build := func(server netip.Addr) Handler {
+		return HandlerFunc(func(q *Message, _ netip.Addr) *Message {
+			resp := q.Reply()
+			if server == flaky {
+				resp.RCode = RCodeServFail
+				return resp
+			}
+			resp.Authoritative = true
+			resp.Answers = []RR{NewA(q.Questions[0].Name, 300, server)}
+			return resp
+		})
+	}
+	net, roots := twoServerRoot(build)
+	r := NewResolver(net, roots)
+	r.Client.Retries = 0
+	ctx := context.Background()
+	// Whatever the rotation offset picks first, a SERVFAIL server must be
+	// skipped in favor of a healthy sibling for every name.
+	for i := 0; i < 16; i++ {
+		name := Canonical(string(rune('a'+i)) + ".ru.")
+		res, err := r.Resolve(ctx, name, TypeA)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.RCode != RCodeNoError || len(res.Answers) != 1 {
+			t.Fatalf("%s: rcode=%v answers=%v", name, res.RCode, res.Answers)
+		}
+	}
+}
+
 func TestResolveOverUDP(t *testing.T) {
 	// The same hierarchy, but the root is reached over a real UDP socket:
 	// MemNet handlers behind a UDP front door via Server.

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -190,23 +191,96 @@ func (t *UDPTransport) Exchange(ctx context.Context, server netip.Addr, query *M
 	}
 }
 
-// Client issues queries over a Transport with ID generation and
-// bounded retransmission.
+// Client issues queries over a Transport with ID generation, bounded
+// retransmission, and jittered exponential backoff. SERVFAIL and
+// truncated responses are treated as retryable — on a flapping path both
+// are transient, and a single-attempt sweep that takes them at face
+// value systematically overcounts failures.
 type Client struct {
 	Transport Transport
 	// Retries is the number of re-sends after the first attempt.
 	Retries int
-	// rng guards ID generation.
-	mu  sync.Mutex
-	rng *rand.Rand
+	// Backoff is the base delay before the first retry; each further
+	// retry doubles it, scaled by jitter in [0.5, 1). Zero (the default)
+	// retries immediately — the in-memory wire has no congestion to wait
+	// out, and sweeps over it must not sleep.
+	Backoff time.Duration
+	// MaxBackoff caps the per-retry delay (0 means 16×Backoff).
+	MaxBackoff time.Duration
+
+	// seeded clients derive query IDs and jitter deterministically from
+	// seed so lossy runs are reproducible; unseeded clients draw both
+	// from a time-seeded RNG.
+	seeded bool
+	seed   int64
+	mu     sync.Mutex
+	rng    *rand.Rand
+
+	queries, attempts, retries, recovered, failed atomic.Int64
 }
 
-// NewClient returns a client over the given transport.
+// ClientStats counts query outcomes, for quantifying degraded sweeps.
+type ClientStats struct {
+	// Queries is the number of Query calls.
+	Queries int64
+	// Attempts is the number of exchanges issued (≥ Queries).
+	Attempts int64
+	// Retries is the number of re-sent exchanges (Attempts - Queries for
+	// queries that ran to completion).
+	Retries int64
+	// Recovered is the number of queries that succeeded only after at
+	// least one failed, flapped, or truncated attempt.
+	Recovered int64
+	// Failed is the number of queries that exhausted every attempt.
+	Failed int64
+}
+
+// NewClient returns a client over the given transport with random IDs.
 func NewClient(t Transport) *Client {
 	return &Client{Transport: t, Retries: 2, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
 }
 
-func (c *Client) nextID() uint16 {
+// NewSeededClient returns a client whose query IDs and backoff jitter are
+// pure functions of (seed, name, type, attempt). Deterministic IDs make
+// fault-injected runs reproducible end to end: FaultTransport hashes the
+// query ID into its fault decisions, so with a seeded client the same
+// (seed, query, attempt) always meets the same fate, no matter how sweep
+// workers are scheduled.
+func NewSeededClient(t Transport, seed int64) *Client {
+	return &Client{Transport: t, Retries: 2, seeded: true, seed: seed}
+}
+
+// Stats returns the running counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Queries:   c.queries.Load(),
+		Attempts:  c.attempts.Load(),
+		Retries:   c.retries.Load(),
+		Recovered: c.recovered.Load(),
+		Failed:    c.failed.Load(),
+	}
+}
+
+// idFor produces the query ID for one attempt.
+func (c *Client) idFor(name string, qtype Type, attempt int) uint16 {
+	if c.seeded {
+		h := uint64(14695981039346656037)
+		mix := func(v uint64) {
+			for i := 0; i < 8; i++ {
+				h ^= v & 0xFF
+				h *= 1099511628211
+				v >>= 8
+			}
+		}
+		mix(uint64(c.seed))
+		mix(uint64(qtype))
+		mix(uint64(attempt))
+		for i := 0; i < len(name); i++ {
+			h ^= uint64(name[i])
+			h *= 1099511628211
+		}
+		return uint16(h)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.rng == nil {
@@ -215,21 +289,84 @@ func (c *Client) nextID() uint16 {
 	return uint16(c.rng.Intn(1 << 16))
 }
 
-// Query sends a single question to server and returns the response.
-func (c *Client) Query(ctx context.Context, server netip.Addr, name string, qtype Type) (*Message, error) {
-	q := NewQuery(c.nextID(), name, qtype)
-	var lastErr error
-	for attempt := 0; attempt <= c.Retries; attempt++ {
-		resp, err := c.Transport.Exchange(ctx, server, q)
-		if err == nil {
-			return resp, nil
-		}
-		lastErr = err
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		// Fresh ID per retransmission, as real resolvers do.
-		q.ID = c.nextID()
+// jitter returns the backoff scale factor in [0.5, 1) for an attempt.
+func (c *Client) jitter(name string, attempt int) float64 {
+	if c.seeded {
+		// Reuse the ID hash with a different type salt for a cheap
+		// deterministic uniform value.
+		return 0.5 + float64(c.idFor(name, Type(0xFFFF), attempt))/float64(1<<17)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return 0.5 + c.rng.Float64()/2
+}
+
+// backoff sleeps before retry number attempt (1-based), honoring ctx.
+func (c *Client) backoff(ctx context.Context, name string, attempt int) error {
+	if c.Backoff <= 0 {
+		return nil
+	}
+	d := c.Backoff << (attempt - 1)
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = 16 * c.Backoff
+	}
+	if d > max || d <= 0 { // d <= 0 guards shift overflow
+		d = max
+	}
+	d = time.Duration(float64(d) * c.jitter(name, attempt))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// Query sends a single question to server and returns the response,
+// retransmitting (with a fresh ID per attempt, as real resolvers do) on
+// errors, SERVFAIL flaps, and truncated responses. A SERVFAIL or
+// truncated response that persists through every attempt is returned to
+// the caller as-is — it is a response, and the caller decides whether to
+// fail over to another server.
+func (c *Client) Query(ctx context.Context, server netip.Addr, name string, qtype Type) (*Message, error) {
+	c.queries.Add(1)
+	var lastErr error
+	var lastResp *Message
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if err := c.backoff(ctx, name, attempt); err != nil {
+				return nil, err
+			}
+		}
+		c.attempts.Add(1)
+		q := NewQuery(c.idFor(name, qtype, attempt), name, qtype)
+		resp, err := c.Transport.Exchange(ctx, server, q)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		if resp.RCode == RCodeServFail || resp.Truncated {
+			lastResp, lastErr = resp, nil
+			continue
+		}
+		if attempt > 0 {
+			c.recovered.Add(1)
+		}
+		return resp, nil
+	}
+	if lastResp != nil {
+		return lastResp, nil
+	}
+	c.failed.Add(1)
 	return nil, fmt.Errorf("dns: query %s %s @%v failed: %w", name, qtype, server, lastErr)
 }

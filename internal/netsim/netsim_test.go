@@ -164,3 +164,34 @@ func BenchmarkOriginAS(b *testing.B) {
 		}
 	}
 }
+
+func TestOutageSchedule(t *testing.T) {
+	s := NewOutageSchedule()
+	d := simtime.MustParse("2021-03-22")
+	s.Add("tld:ru", simtime.OneDay(d))
+	s.Add("tld:ru", simtime.Window{From: d.Add(10), To: d.Add(12)})
+	s.Add("provider:netnod", simtime.Window{From: d.Add(11), To: d.Add(20)})
+
+	if !s.ActiveOn("tld:ru", d) || s.ActiveOn("tld:ru", d.Add(1)) {
+		t.Error("single-day window misreported")
+	}
+	if s.ActiveOn("tld:xn--p1ai", d) {
+		t.Error("unknown key reported active")
+	}
+	if got := len(s.Windows("tld:ru")); got != 2 {
+		t.Errorf("Windows(tld:ru) = %d entries, want 2", got)
+	}
+	// Windows returns a copy: mutating it must not corrupt the schedule.
+	s.Windows("tld:ru")[0] = simtime.Window{From: 0, To: 1 << 30}
+	if s.ActiveOn("tld:ru", d.Add(5)) {
+		t.Error("Windows leaked internal state")
+	}
+
+	keys := s.ActiveKeys(d.Add(11))
+	if len(keys) != 2 || keys[0] != "provider:netnod" || keys[1] != "tld:ru" {
+		t.Errorf("ActiveKeys = %v, want sorted [provider:netnod tld:ru]", keys)
+	}
+	if keys := s.ActiveKeys(d.Add(1)); len(keys) != 0 {
+		t.Errorf("ActiveKeys on a quiet day = %v", keys)
+	}
+}

@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"sort"
+	"sync"
+
+	"whereru/internal/simtime"
+)
+
+// OutageSchedule is a day-indexed registry of planned outage windows,
+// keyed by an arbitrary label (a provider key, a TLD, a server address).
+// It is the bookkeeping half of scheduled failures: the fault layer
+// (dns.FaultTransport) enforces windows on the wire, while the schedule
+// records what was planned so experiments can ask "what was down on day
+// X?" — e.g. Netnod withdrawing service from Russia, or the paper's
+// footnote-8 collection outage.
+type OutageSchedule struct {
+	mu      sync.RWMutex
+	windows map[string][]simtime.Window
+}
+
+// NewOutageSchedule returns an empty schedule.
+func NewOutageSchedule() *OutageSchedule {
+	return &OutageSchedule{windows: make(map[string][]simtime.Window)}
+}
+
+// Add records an outage window for key. Windows may overlap.
+func (s *OutageSchedule) Add(key string, w simtime.Window) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.windows[key] = append(s.windows[key], w)
+}
+
+// Windows returns the windows recorded for key, in insertion order.
+func (s *OutageSchedule) Windows(key string) []simtime.Window {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]simtime.Window, len(s.windows[key]))
+	copy(out, s.windows[key])
+	return out
+}
+
+// ActiveOn reports whether key has a scheduled outage covering day.
+func (s *OutageSchedule) ActiveOn(key string, day simtime.Day) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, w := range s.windows[key] {
+		if w.Contains(day) {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveKeys returns the sorted keys with an outage covering day.
+func (s *OutageSchedule) ActiveKeys(day simtime.Day) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for key, ws := range s.windows {
+		for _, w := range ws {
+			if w.Contains(day) {
+				out = append(out, key)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -46,17 +46,35 @@ type Pipeline struct {
 	OnProgress func(done, total int)
 }
 
-// SweepStats summarizes one sweep.
+// SweepStats summarizes one sweep. Beyond the domain-outcome counts it
+// quantifies degradation: on a lossy wire a sweep can succeed for nearly
+// every domain yet only via retries, and folding that silently into
+// Failed (or into nothing) hides exactly the transient-vs-genuine
+// distinction the measurement conclusions hinge on.
 type SweepStats struct {
 	Day      simtime.Day
 	Domains  int
 	Failed   int
 	NXDomain int
+	// Retries is the number of re-sent DNS queries during the sweep.
+	Retries int
+	// Recovered is the number of queries that succeeded only after at
+	// least one failed, flapped, or truncated attempt.
+	Recovered int
+	// Unreachable counts domains whose delegation was measured but none
+	// of whose name-server hosts resolved to an address — degraded, not
+	// Failed.
+	Unreachable int
 }
 
-// String renders the stats compactly.
+// String renders the stats compactly; degradation counters appear only
+// when the sweep was degraded.
 func (st SweepStats) String() string {
-	return fmt.Sprintf("%s: %d domains, %d failed, %d nxdomain", st.Day, st.Domains, st.Failed, st.NXDomain)
+	s := fmt.Sprintf("%s: %d domains, %d failed, %d nxdomain", st.Day, st.Domains, st.Failed, st.NXDomain)
+	if st.Retries > 0 || st.Recovered > 0 || st.Unreachable > 0 {
+		s += fmt.Sprintf(" (%d retries, %d recovered, %d unreachable)", st.Retries, st.Recovered, st.Unreachable)
+	}
+	return s
 }
 
 // Sweep measures every seeded domain for the given day. It advances the
@@ -79,10 +97,13 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 		workers = len(seeds)
 	}
 
+	clientBefore := p.Resolver.Client.Stats()
+
 	type result struct {
-		m     store.Measurement
-		nx    bool
-		fatal error
+		m           store.Measurement
+		nx          bool
+		unreachable bool
+		fatal       error
 	}
 	jobs := make(chan string)
 	results := make(chan result)
@@ -94,9 +115,9 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 		go func() {
 			defer wg.Done()
 			for domain := range jobs {
-				m, nx := p.measure(ctx, day, domain)
+				m, nx, unreachable := p.measure(ctx, day, domain)
 				select {
-				case results <- result{m: m, nx: nx}:
+				case results <- result{m: m, nx: nx, unreachable: unreachable}:
 				case <-ctx.Done():
 					return
 				}
@@ -131,21 +152,29 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 		if r.nx {
 			stats.NXDomain++
 		}
+		if r.unreachable {
+			stats.Unreachable++
+		}
 		p.Store.Add(r.m)
 	}
+	clientAfter := p.Resolver.Client.Stats()
+	stats.Retries = int(clientAfter.Retries - clientBefore.Retries)
+	stats.Recovered = int(clientAfter.Recovered - clientBefore.Recovered)
 	if err := ctx.Err(); err != nil {
 		return stats, err
 	}
 	return stats, nil
 }
 
-// measure performs the three OpenINTEL lookups for one domain.
-func (p *Pipeline) measure(ctx context.Context, day simtime.Day, domain string) (store.Measurement, bool) {
+// measure performs the three OpenINTEL lookups for one domain. The
+// unreachable result marks a domain whose delegation answered but whose
+// name-server hosts all failed to resolve to an address.
+func (p *Pipeline) measure(ctx context.Context, day simtime.Day, domain string) (store.Measurement, bool, bool) {
 	m := store.Measurement{Domain: domain, Day: day}
 	nsHosts, err := p.Resolver.LookupNS(ctx, domain)
 	if err != nil {
 		m.Config.Failed = true
-		return m, false
+		return m, false, false
 	}
 	nx := len(nsHosts) == 0
 	m.Config.NSHosts = nsHosts
@@ -161,6 +190,7 @@ func (p *Pipeline) measure(ctx context.Context, day simtime.Day, domain string) 
 		}
 		m.Config.NSAddrs = append(m.Config.NSAddrs, addrs...)
 	}
+	unreachable := len(nsHosts) > 0 && len(m.Config.NSAddrs) == 0
 	apex, err := p.Resolver.LookupA(ctx, domain)
 	if err == nil {
 		m.Config.ApexAddrs = apex
@@ -174,7 +204,7 @@ func (p *Pipeline) measure(ctx context.Context, day simtime.Day, domain string) 
 			}
 		}
 	}
-	return m, nx
+	return m, nx, unreachable
 }
 
 // Schedule produces the sweep days for a study window: monthly snapshots
@@ -184,6 +214,14 @@ func (p *Pipeline) measure(ctx context.Context, day simtime.Day, domain string) 
 func Schedule(start, end, denseFrom simtime.Day, denseStep int) []simtime.Day {
 	if denseStep <= 0 {
 		denseStep = 1
+	}
+	if end < start {
+		return nil
+	}
+	if denseFrom < start {
+		// A dense window opening before the study does starts with it:
+		// sweeps must never predate the first zone snapshot.
+		denseFrom = start
 	}
 	var days []simtime.Day
 	for d := start; d <= end && d < denseFrom; {

@@ -195,6 +195,30 @@ func PeriodOf(d Day) Period {
 	}
 }
 
+// Window is an inclusive range of days [From, To]. It is the unit of
+// scheduled interventions in the simulation: outage windows on the fault
+// layer, analysis periods, and provider-event spans are all day windows.
+type Window struct {
+	From, To Day
+}
+
+// Contains reports whether d falls inside the window (inclusive).
+func (w Window) Contains(d Day) bool { return w.From <= d && d <= w.To }
+
+// Len returns the number of days in the window (0 if To < From).
+func (w Window) Len() int {
+	if w.To < w.From {
+		return 0
+	}
+	return int(w.To-w.From) + 1
+}
+
+// String renders the window as "2022-03-03..2022-03-05".
+func (w Window) String() string { return w.From.String() + ".." + w.To.String() }
+
+// OneDay returns the window covering exactly d.
+func OneDay(d Day) Window { return Window{From: d, To: d} }
+
 // Range iterates days [from, to] inclusive with the given step in days,
 // calling fn for each; it stops early if fn returns false.
 func Range(from, to Day, step int, fn func(Day) bool) {

@@ -171,3 +171,28 @@ func TestRange(t *testing.T) {
 		t.Errorf("zero step visited %d days, want 4", count)
 	}
 }
+
+func TestWindow(t *testing.T) {
+	w := Window{From: Date(2022, 3, 3), To: Date(2022, 3, 5)}
+	if w.Len() != 3 {
+		t.Errorf("Len = %d, want 3", w.Len())
+	}
+	for d := w.From - 1; d <= w.To+1; d++ {
+		want := d >= w.From && d <= w.To
+		if w.Contains(d) != want {
+			t.Errorf("Contains(%s) = %v, want %v", d, !want, want)
+		}
+	}
+	if got := w.String(); got != "2022-03-03..2022-03-05" {
+		t.Errorf("String = %q", got)
+	}
+	one := OneDay(Date(2022, 3, 3))
+	if one.Len() != 1 || !one.Contains(Date(2022, 3, 3)) || one.Contains(Date(2022, 3, 4)) {
+		t.Errorf("OneDay = %+v", one)
+	}
+	// An inverted window contains nothing.
+	inv := Window{From: 10, To: 5}
+	if inv.Contains(7) || inv.Len() != 0 {
+		t.Errorf("inverted window: Contains=%v Len=%d", inv.Contains(7), inv.Len())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"net/netip"
+	"sort"
 
 	"whereru/internal/ct"
 	"whereru/internal/dns"
@@ -108,6 +109,29 @@ func (w *World) NewResolver() *dns.Resolver {
 	return dns.NewResolver(w.Mem, w.roots)
 }
 
+// NewFaultyResolver returns a resolver whose exchanges pass through a
+// deterministic fault-injection layer configured with profile as the
+// default for every server, plus the fault transport for installing
+// per-server or per-prefix overrides (e.g. outage windows on registry
+// infrastructure). The resolver's client is seeded with the same seed,
+// so two runs over identical worlds observe identical faults.
+func (w *World) NewFaultyResolver(seed int64, profile dns.FaultProfile) (*dns.Resolver, *dns.FaultTransport) {
+	ft := dns.NewFaultTransport(w.Mem, seed, w.Clock())
+	ft.SetDefault(profile)
+	r := dns.NewResolver(ft, w.roots)
+	r.Client = dns.NewSeededClient(ft, seed)
+	return r, ft
+}
+
+// TLDServerAddrs returns the server addresses for a served TLD label
+// ("ru", the .рф punycode), for targeting registry infrastructure with
+// fault profiles.
+func (w *World) TLDServerAddrs(tld string) []netip.Addr {
+	addrs := make([]netip.Addr, len(w.tldAddrs[tld]))
+	copy(addrs, w.tldAddrs[tld])
+	return addrs
+}
+
 // Provider returns a provider by key.
 func (w *World) Provider(key string) (*Provider, bool) {
 	p, ok := w.providers[key]
@@ -191,12 +215,20 @@ func (w *World) buildProviders() error {
 }
 
 // servedTLDs collects every TLD the simulation must serve: the two
-// registry TLDs plus each TLD appearing in provider NS names.
+// registry TLDs plus each TLD appearing in provider NS names. The
+// providers are visited in sorted key order — TLD order decides which
+// infrastructure addresses each TLD is allocated, and a map walk here
+// would make two Builds with the same seed disagree on server addresses.
 func (w *World) servedTLDs() []string {
+	keys := make([]string, 0, len(w.providers))
+	for k := range w.providers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	seen := map[string]bool{"ru": true, idn.RFTLDASCII: true}
 	out := []string{"ru", idn.RFTLDASCII}
-	for _, p := range w.providers {
-		for _, n := range p.NSNames {
+	for _, k := range keys {
+		for _, n := range w.providers[k].NSNames {
 			tld := dns.TLD(n)
 			if !seen[tld] {
 				seen[tld] = true

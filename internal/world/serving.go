@@ -6,6 +6,7 @@ import (
 
 	"whereru/internal/dns"
 	"whereru/internal/idn"
+	"whereru/internal/netsim"
 	"whereru/internal/simtime"
 )
 
@@ -234,14 +235,37 @@ func (w *World) providerHandler(p *Provider) dns.Handler {
 	})
 }
 
-// OutageWindow simulates the collection outage the paper notes on
+// SetOutage simulates the collection outage the paper notes on
 // 2021-03-22 (footnote 8) by making the registry TLD servers unreachable
 // for the given day when enabled.
+//
+// Deprecated-by-design: this flips shared MemNet state and must be
+// manually undone; ScheduleRegistryOutage expresses the same event as a
+// day-keyed fault-profile window that turns itself on and off with the
+// simulation clock.
 func (w *World) SetOutage(day simtime.Day, enabled bool) {
 	_ = day
 	for _, tld := range []string{"ru", idn.RFTLDASCII} {
 		for _, a := range w.tldAddrs[tld] {
 			w.Mem.SetUnreachable(a, enabled)
+		}
+	}
+}
+
+// ScheduleRegistryOutage registers a scheduled outage window for every
+// registry TLD server on the fault layer: base is the profile otherwise
+// in effect for those servers (typically the sweep's default), and the
+// window is appended to its outage schedule. The plan is also recorded
+// in sched (when non-nil) under the "tld:<label>" key so analyses can
+// ask what was down on a given day.
+func (w *World) ScheduleRegistryOutage(ft *dns.FaultTransport, base dns.FaultProfile, win simtime.Window, sched *netsim.OutageSchedule) {
+	base.Outages = append(base.Outages, win)
+	for _, tld := range []string{"ru", idn.RFTLDASCII} {
+		for _, a := range w.tldAddrs[tld] {
+			ft.SetServer(a, base)
+		}
+		if sched != nil {
+			sched.Add("tld:"+tld, win)
 		}
 	}
 }
