@@ -233,6 +233,7 @@ func BenchmarkSweep(b *testing.B) {
 		Store:    store.New(),
 		Workers:  8,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pipe.Sweep(context.Background(), simtime.ConflictStart); err != nil {
@@ -254,6 +255,7 @@ func BenchmarkSweepLossy(b *testing.B) {
 		Store:    store.New(),
 		Workers:  8,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stats, err := pipe.Sweep(context.Background(), simtime.ConflictStart)
@@ -386,6 +388,32 @@ func BenchmarkAblationStoreNaive(b *testing.B) {
 		}
 		if stats := st.Stats(); stats.Epochs != 200 {
 			b.Fatalf("epochs = %d", stats.Epochs)
+		}
+	}
+}
+
+// BenchmarkAblationSeriesEpoch and BenchmarkAblationSeriesNaive contrast
+// the epoch-sharded analysis engine against the per-day reference path on
+// the same Figure 1 computation over every collected sweep: the naive
+// path re-walks and re-classifies the whole store once per day, while the
+// epoch engine classifies once per (domain, epoch, geo-version window)
+// and spreads domains over the worker pool.
+func BenchmarkAblationSeriesEpoch(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := s.Analyzer.NSCompositionSeries(s.Sweeps, nil); len(pts) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+func BenchmarkAblationSeriesNaive(b *testing.B) {
+	s := study(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := s.Analyzer.ReferenceNSCompositionSeries(s.Sweeps, nil); len(pts) == 0 {
+			b.Fatal("empty series")
 		}
 	}
 }

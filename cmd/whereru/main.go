@@ -12,6 +12,7 @@
 //	-seed N         world seed (default 20220224)
 //	-step N         dense sweep interval in days for 2022 (default 3)
 //	-workers N      sweep concurrency (default 8)
+//	-analysis-workers N  analysis shard count (default 0 = one per CPU)
 //	-markdown FILE  also write the EXPERIMENTS.md content to FILE
 //	-store FILE     also write the binary measurement store to FILE
 //	-quiet          suppress progress logging
@@ -41,6 +42,7 @@ func run() error {
 	seed := flag.Int64("seed", 20220224, "world seed")
 	step := flag.Int("step", 3, "dense sweep interval in days for 2022")
 	workers := flag.Int("workers", 8, "sweep concurrency")
+	analysisWorkers := flag.Int("analysis-workers", 0, "analysis shard count for figure regeneration (0 = one per CPU)")
 	markdown := flag.String("markdown", "", "write EXPERIMENTS.md content to this file")
 	storePath := flag.String("store", "", "write the binary measurement store to this file")
 	csvDir := flag.String("csvdir", "", "write per-figure CSV series into this directory")
@@ -49,10 +51,11 @@ func run() error {
 	flag.Parse()
 
 	opts := core.Options{
-		World:     world.Config{Seed: *seed, Scale: *scale, RFShare: 0.10},
-		DenseStep: *step,
-		Workers:   *workers,
-		CollectMX: *mx,
+		World:           world.Config{Seed: *seed, Scale: *scale, RFShare: 0.10},
+		DenseStep:       *step,
+		Workers:         *workers,
+		AnalysisWorkers: *analysisWorkers,
+		CollectMX:       *mx,
 	}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {

@@ -70,6 +70,10 @@ type Analyzer struct {
 	Store    *store.Store
 	Geo      *geo.DB
 	Internet *netsim.Internet
+	// Workers is the analysis shard count (0 = runtime.NumCPU). Series are
+	// computed by sharding the domain space over this many goroutines with
+	// a deterministic merge, so the result is independent of the setting.
+	Workers int
 }
 
 // Point is one day of a composition series (Figures 1, 2, 5).
@@ -103,52 +107,52 @@ func pct(n, total int) float64 {
 }
 
 // Filter selects the domains an analysis runs over; nil selects all.
+// Filters must be safe for concurrent use: the epoch engine calls them
+// from its shard workers.
 type Filter func(domain string) bool
 
-// NSCompositionSeries computes Figure 1 (and, with a sanctioned-domain
-// filter, Figure 5): for each day, how many domains' authoritative name
-// servers geolocate fully/partially/not to Russia.
-func (a *Analyzer) NSCompositionSeries(days []simtime.Day, filter Filter) []Point {
-	return a.series(days, filter, func(day simtime.Day, cfg store.Config) Composition {
+// nsCompositionClassifier classifies a config by where its name-server
+// addresses geolocate. The same classifier serves the epoch engine (bound
+// to a memoizing geoCache) and the reference path (bound to the raw DB).
+func nsCompositionClassifier(g geoLookup) func(simtime.Day, store.Config) Composition {
+	return func(day simtime.Day, cfg store.Config) Composition {
 		if cfg.Failed || len(cfg.NSAddrs) == 0 {
 			return CompUnknown
 		}
 		sawRU, sawOther := false, false
 		for _, addr := range cfg.NSAddrs {
-			if country, ok := a.Geo.Lookup(day, addr); ok && country == geo.RU {
+			if country, ok := g.Lookup(day, addr); ok && country == geo.RU {
 				sawRU = true
 			} else {
 				sawOther = true
 			}
 		}
 		return classifyFlags(sawRU, sawOther)
-	})
+	}
 }
 
-// HostingCompositionSeries classifies domains by where their apex A
-// records geolocate (§3.1's hosting breakdown).
-func (a *Analyzer) HostingCompositionSeries(days []simtime.Day, filter Filter) []Point {
-	return a.series(days, filter, func(day simtime.Day, cfg store.Config) Composition {
+// hostingCompositionClassifier classifies by apex-address geolocation.
+func hostingCompositionClassifier(g geoLookup) func(simtime.Day, store.Config) Composition {
+	return func(day simtime.Day, cfg store.Config) Composition {
 		if cfg.Failed || len(cfg.ApexAddrs) == 0 {
 			return CompUnknown
 		}
 		sawRU, sawOther := false, false
 		for _, addr := range cfg.ApexAddrs {
-			if country, ok := a.Geo.Lookup(day, addr); ok && country == geo.RU {
+			if country, ok := g.Lookup(day, addr); ok && country == geo.RU {
 				sawRU = true
 			} else {
 				sawOther = true
 			}
 		}
 		return classifyFlags(sawRU, sawOther)
-	})
+	}
 }
 
-// TLDDependencySeries computes Figure 2: whether each domain's name
-// servers are registered entirely under Russian Federation TLDs (.ru,
-// .su, .рф), partially, or not at all.
-func (a *Analyzer) TLDDependencySeries(days []simtime.Day, filter Filter) []Point {
-	return a.series(days, filter, func(_ simtime.Day, cfg store.Config) Composition {
+// tldDependencyClassifier classifies by the TLDs the name-server hosts
+// are registered under (day- and geolocation-independent).
+func tldDependencyClassifier(geoLookup) func(simtime.Day, store.Config) Composition {
+	return func(_ simtime.Day, cfg store.Config) Composition {
 		if cfg.Failed || len(cfg.NSHosts) == 0 {
 			return CompUnknown
 		}
@@ -161,36 +165,38 @@ func (a *Analyzer) TLDDependencySeries(days []simtime.Day, filter Filter) []Poin
 			}
 		}
 		return classifyFlags(sawRU, sawOther)
-	})
+	}
+}
+
+// NSCompositionSeries computes Figure 1 (and, with a sanctioned-domain
+// filter, Figure 5): for each day, how many domains' authoritative name
+// servers geolocate fully/partially/not to Russia.
+func (a *Analyzer) NSCompositionSeries(days []simtime.Day, filter Filter) []Point {
+	return a.epochSeries(days, filter, nsCompositionClassifier)
+}
+
+// ReferenceNSCompositionSeries is NSCompositionSeries on the per-day
+// reference path. It exists for the equivalence tests and the series
+// ablation benchmarks; use NSCompositionSeries everywhere else.
+func (a *Analyzer) ReferenceNSCompositionSeries(days []simtime.Day, filter Filter) []Point {
+	return a.referenceSeries(days, filter, nsCompositionClassifier(a.Geo))
+}
+
+// HostingCompositionSeries classifies domains by where their apex A
+// records geolocate (§3.1's hosting breakdown).
+func (a *Analyzer) HostingCompositionSeries(days []simtime.Day, filter Filter) []Point {
+	return a.epochSeries(days, filter, hostingCompositionClassifier)
+}
+
+// TLDDependencySeries computes Figure 2: whether each domain's name
+// servers are registered entirely under Russian Federation TLDs (.ru,
+// .su, .рф), partially, or not at all.
+func (a *Analyzer) TLDDependencySeries(days []simtime.Day, filter Filter) []Point {
+	return a.epochSeries(days, filter, tldDependencyClassifier)
 }
 
 // isRussianTLD reports whether a TLD label belongs to the Russian
 // Federation (.ru, .рф as xn--p1ai, and legacy .su).
 func isRussianTLD(tld string) bool {
 	return tld == "ru" || tld == "su" || tld == idn.RFTLDASCII
-}
-
-func (a *Analyzer) series(days []simtime.Day, filter Filter, classify func(simtime.Day, store.Config) Composition) []Point {
-	out := make([]Point, 0, len(days))
-	for _, day := range days {
-		p := Point{Day: day}
-		a.Store.ForEachAt(day, func(domain string, cfg store.Config) {
-			if filter != nil && !filter(domain) {
-				return
-			}
-			p.Total++
-			switch classify(day, cfg) {
-			case CompFull:
-				p.Full++
-			case CompPart:
-				p.Part++
-			case CompNon:
-				p.Non++
-			default:
-				p.Unknown++
-			}
-		})
-		out = append(out, p)
-	}
-	return out
 }

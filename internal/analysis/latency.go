@@ -5,7 +5,6 @@ import (
 
 	"whereru/internal/netsim"
 	"whereru/internal/simtime"
-	"whereru/internal/store"
 )
 
 // Relocation latency quantifies the paper's §6 observation that
@@ -52,47 +51,58 @@ func (r LatencyReport) Median() (int, bool) { return r.Percentile(50) }
 // RelocationLatency measures, for every domain hosted in asn on the event
 // day, the first post-event sweep on which it resolved outside the ASN.
 // Granularity is bounded by the sweep cadence (the paper's daily data has
-// day granularity; a 3-day schedule quantizes to 3 days).
+// day granularity; a 3-day schedule quantizes to 3 days). It runs on one
+// store snapshot sharded across workers; per-shard counters and delay
+// lists merge deterministically (the delays are sorted at the end).
 func (a *Analyzer) RelocationLatency(asn netsim.ASN, event simtime.Day, until simtime.Day) LatencyReport {
 	rep := LatencyReport{ASN: asn, Event: event}
-	var members []string
-	a.Store.ForEachAt(event, func(domain string, cfg store.Config) {
-		if !cfg.Failed && a.hostASNs(cfg)[asn] {
-			members = append(members, domain)
-		}
-	})
+	snap := a.Store.Snapshot()
 	var sweeps []simtime.Day
-	for _, d := range a.Store.Sweeps() {
+	for _, d := range snap.Sweeps() {
 		if d > event && d <= until {
 			sweeps = append(sweeps, d)
 		}
 	}
-	for _, domain := range members {
-		relocated := false
-		measuredLate := false
-		for _, d := range sweeps {
-			cfg, ok := a.Store.At(domain, d)
-			if !ok || !a.Store.MeasuredOn(domain, d) {
+	shards := make([]LatencyReport, a.workers())
+	used := a.shard(snap.NumDomains(), func(shard, lo, hi int) {
+		sr := &shards[shard]
+		for i := lo; i < hi; i++ {
+			cfg, ok := snap.At(i, event)
+			if !ok || !snap.MeasuredAt(i, event) || cfg.Failed || !a.hostASNs(cfg)[asn] {
 				continue
 			}
-			measuredLate = true
-			if cfg.Failed {
-				continue
+			relocated := false
+			measuredLate := false
+			for _, d := range sweeps {
+				cfg, ok := snap.At(i, d)
+				if !ok || !snap.MeasuredAt(i, d) {
+					continue
+				}
+				measuredLate = true
+				if cfg.Failed {
+					continue
+				}
+				if !a.hostASNs(cfg)[asn] {
+					sr.Relocated++
+					sr.Delays = append(sr.Delays, d.Sub(event))
+					relocated = true
+					break
+				}
 			}
-			if !a.hostASNs(cfg)[asn] {
-				rep.Relocated++
-				rep.Delays = append(rep.Delays, d.Sub(event))
-				relocated = true
-				break
+			if !relocated {
+				if measuredLate {
+					sr.StillThere++
+				} else {
+					sr.Gone++
+				}
 			}
 		}
-		if !relocated {
-			if measuredLate {
-				rep.StillThere++
-			} else {
-				rep.Gone++
-			}
-		}
+	})
+	for s := 0; s < used; s++ {
+		rep.Relocated += shards[s].Relocated
+		rep.StillThere += shards[s].StillThere
+		rep.Gone += shards[s].Gone
+		rep.Delays = append(rep.Delays, shards[s].Delays...)
 	}
 	sort.Ints(rep.Delays)
 	return rep

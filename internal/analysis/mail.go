@@ -37,6 +37,25 @@ func MXZone(host string) string { return dns.Parent(dns.Canonical(host)) }
 
 // MailProviderSeries computes per-day mail-operator shares.
 func (a *Analyzer) MailProviderSeries(days []simtime.Day, filter Filter) []MailSharePoint {
+	totals, withMail, counts := epochShareSeries(a, days, filter,
+		func(cfg store.Config) bool { return !cfg.Failed },
+		func(cfg store.Config) bool { return len(cfg.MXHosts) > 0 },
+		func(cfg store.Config, dst []string) []string {
+			for _, h := range cfg.MXHosts {
+				dst = uniqueAppend(dst, MXZone(h))
+			}
+			return dst
+		})
+	out := make([]MailSharePoint, 0, len(days))
+	for i, day := range days {
+		out = append(out, MailSharePoint{Day: day, Total: totals[i], WithMail: withMail[i], Counts: counts[i]})
+	}
+	return out
+}
+
+// referenceMailProviderSeries is the per-day reference path, kept as the
+// equivalence oracle for the epoch engine.
+func (a *Analyzer) referenceMailProviderSeries(days []simtime.Day, filter Filter) []MailSharePoint {
 	out := make([]MailSharePoint, 0, len(days))
 	for _, day := range days {
 		p := MailSharePoint{Day: day, Counts: make(map[string]int)}
@@ -94,7 +113,11 @@ func TopMailZones(series []MailSharePoint, k int) []string {
 // Liu-et-al methodology groups by operator, and operator country is the
 // analyst's judgment; here Russian-TLD operator zones count as Russian).
 func (a *Analyzer) MailCompositionSeries(days []simtime.Day, filter Filter) []Point {
-	return a.series(days, filter, func(_ simtime.Day, cfg store.Config) Composition {
+	return a.epochSeries(days, filter, mailCompositionClassifier)
+}
+
+func mailCompositionClassifier(geoLookup) func(simtime.Day, store.Config) Composition {
+	return func(_ simtime.Day, cfg store.Config) Composition {
 		if cfg.Failed || len(cfg.MXHosts) == 0 {
 			return CompUnknown
 		}
@@ -107,5 +130,5 @@ func (a *Analyzer) MailCompositionSeries(days []simtime.Day, filter Filter) []Po
 			}
 		}
 		return classifyFlags(sawRU, sawOther)
-	})
+	}
 }

@@ -67,12 +67,95 @@ func topASNs(counts map[netsim.ASN]int, k int) []netsim.ASN {
 }
 
 // Whois resolves registration records; registry.Group satisfies it.
+// Implementations must be safe for concurrent use: MovementAnalysis calls
+// Whois from its shard workers.
 type Whois interface {
 	Whois(name string) (registry.Domain, bool)
 }
 
 // MovementAnalysis compares hosting between two sweep days for one ASN.
+// It runs on the epoch engine: one snapshot pass over the domain space,
+// sharded across workers, with each domain's From/To configurations read
+// from its own epoch list — instead of two full per-day store walks plus
+// a point lookup per incomer. Per-shard partial Movements merge by
+// addition, so the result is deterministic and identical to
+// referenceMovementAnalysis.
 func (a *Analyzer) MovementAnalysis(asn netsim.ASN, from, to simtime.Day, whois Whois) Movement {
+	m := Movement{
+		ASN: asn, From: from, To: to,
+		OutDestinations: make(map[netsim.ASN]int),
+		InSources:       make(map[netsim.ASN]int),
+	}
+	snap := a.Store.Snapshot()
+	n := snap.NumDomains()
+	shards := make([]Movement, a.workers())
+	used := a.shard(n, func(shard, lo, hi int) {
+		sm := &shards[shard]
+		sm.OutDestinations = make(map[netsim.ASN]int)
+		sm.InSources = make(map[netsim.ASN]int)
+		for i := lo; i < hi; i++ {
+			cfgFrom, okFrom := snap.At(i, from)
+			memberFrom := okFrom && snap.MeasuredAt(i, from) && !cfgFrom.Failed
+			original := memberFrom && a.hostASNs(cfgFrom)[asn]
+			if original {
+				sm.Original++
+			}
+			cfgTo, okTo := snap.At(i, to)
+			memberTo := okTo && snap.MeasuredAt(i, to) && !cfgTo.Failed
+			if !memberTo {
+				if original {
+					sm.Gone++
+				}
+				continue
+			}
+			inASN := a.hostASNs(cfgTo)[asn]
+			switch {
+			case original && inASN:
+				sm.Remained++
+			case original && !inASN:
+				sm.RelocatedOut++
+				for dest := range a.hostASNs(cfgTo) {
+					sm.OutDestinations[dest]++
+				}
+			case !original && inASN:
+				// Incomer: newly registered or relocated in.
+				if rec, ok := whois.Whois(snap.Domains()[i]); ok && rec.Created > from {
+					sm.NewlyRegistered++
+					continue
+				}
+				sm.RelocatedIn++
+				// Where it came from: its configuration carried into From,
+				// whether or not it was still measured then (mirroring the
+				// reference path's Store.At).
+				if prev, ok := snap.At(i, from); ok {
+					for src := range a.hostASNs(prev) {
+						sm.InSources[src]++
+					}
+				}
+			}
+		}
+	})
+	for s := 0; s < used; s++ {
+		sm := &shards[s]
+		m.Original += sm.Original
+		m.Remained += sm.Remained
+		m.RelocatedOut += sm.RelocatedOut
+		m.Gone += sm.Gone
+		m.RelocatedIn += sm.RelocatedIn
+		m.NewlyRegistered += sm.NewlyRegistered
+		for k, v := range sm.OutDestinations {
+			m.OutDestinations[k] += v
+		}
+		for k, v := range sm.InSources {
+			m.InSources[k] += v
+		}
+	}
+	return m
+}
+
+// referenceMovementAnalysis is the original two-pass per-day path, kept
+// as the equivalence oracle for MovementAnalysis.
+func (a *Analyzer) referenceMovementAnalysis(asn netsim.ASN, from, to simtime.Day, whois Whois) Movement {
 	m := Movement{
 		ASN: asn, From: from, To: to,
 		OutDestinations: make(map[netsim.ASN]int),

@@ -24,6 +24,25 @@ func (p TLDSharePoint) Share(tld string) float64 { return pct(p.Counts[tld], p.T
 
 // TLDShareSeries computes Figure 3's underlying series for all TLDs.
 func (a *Analyzer) TLDShareSeries(days []simtime.Day, filter Filter) []TLDSharePoint {
+	totals, _, counts := epochShareSeries(a, days, filter,
+		func(cfg store.Config) bool { return !cfg.Failed && len(cfg.NSHosts) > 0 },
+		nil,
+		func(cfg store.Config, dst []string) []string {
+			for _, host := range cfg.NSHosts {
+				dst = uniqueAppend(dst, dns.TLD(host))
+			}
+			return dst
+		})
+	out := make([]TLDSharePoint, 0, len(days))
+	for i, day := range days {
+		out = append(out, TLDSharePoint{Day: day, Total: totals[i], Counts: counts[i]})
+	}
+	return out
+}
+
+// referenceTLDShareSeries is the per-day reference path for Figure 3,
+// kept as the equivalence oracle for the epoch engine.
+func (a *Analyzer) referenceTLDShareSeries(days []simtime.Day, filter Filter) []TLDSharePoint {
 	out := make([]TLDSharePoint, 0, len(days))
 	for _, day := range days {
 		p := TLDSharePoint{Day: day, Counts: make(map[string]int)}
@@ -87,6 +106,27 @@ func (p ASNSharePoint) Share(asn netsim.ASN) float64 { return pct(p.Counts[asn],
 // ASNShareSeries computes Figure 4's series: per day, how many measured
 // domains have at least one apex A record originated by each ASN.
 func (a *Analyzer) ASNShareSeries(days []simtime.Day, filter Filter) []ASNSharePoint {
+	totals, _, counts := epochShareSeries(a, days, filter,
+		func(cfg store.Config) bool { return !cfg.Failed },
+		nil,
+		func(cfg store.Config, dst []netsim.ASN) []netsim.ASN {
+			for _, addr := range cfg.ApexAddrs {
+				if asn, ok := a.Internet.OriginAS(addr); ok {
+					dst = uniqueAppend(dst, asn)
+				}
+			}
+			return dst
+		})
+	out := make([]ASNSharePoint, 0, len(days))
+	for i, day := range days {
+		out = append(out, ASNSharePoint{Day: day, Total: totals[i], Counts: counts[i]})
+	}
+	return out
+}
+
+// referenceASNShareSeries is the per-day reference path for Figure 4,
+// kept as the equivalence oracle for the epoch engine.
+func (a *Analyzer) referenceASNShareSeries(days []simtime.Day, filter Filter) []ASNSharePoint {
 	out := make([]ASNSharePoint, 0, len(days))
 	for _, day := range days {
 		p := ASNSharePoint{Day: day, Counts: make(map[netsim.ASN]int)}

@@ -31,6 +31,10 @@ type Options struct {
 	DenseStep int
 	// Workers is the sweep concurrency (default 8).
 	Workers int
+	// AnalysisWorkers is the analysis shard count for figure regeneration
+	// (0 = one shard per CPU). Results are independent of the setting: the
+	// epoch engine merges per-shard counters deterministically.
+	AnalysisWorkers int
 	// CollectMX enables the mail-measurement extension (MX records are
 	// collected alongside NS/A, enabling the mail-concentration analyses).
 	CollectMX bool
@@ -106,7 +110,7 @@ func New(opts Options) (*Study, error) {
 		Opts:     opts,
 		World:    w,
 		Store:    st,
-		Analyzer: &analysis.Analyzer{Store: st, Geo: w.Geo, Internet: w.Internet},
+		Analyzer: &analysis.Analyzer{Store: st, Geo: w.Geo, Internet: w.Internet, Workers: opts.AnalysisWorkers},
 		Archive:  scan.NewArchive(),
 		Outages:  netsim.NewOutageSchedule(),
 	}, nil

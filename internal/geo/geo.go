@@ -161,6 +161,17 @@ func (db *DB) Lookup(day simtime.Day, addr netip.Addr) (string, bool) {
 	return "", false
 }
 
+// Version returns the index of the snapshot effective on day (0-based in
+// snapshot order), or -1 when the day precedes all snapshots. Lookup
+// results are a pure function of (Version(day), addr), which lets callers
+// memoize geolocation across the piecewise-constant version windows.
+func (db *DB) Version(day simtime.Day) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	i := sort.Search(len(db.snapshots), func(i int) bool { return db.snapshots[i].from > day })
+	return i - 1
+}
+
 // Snapshots returns the effective-from days of all snapshots, sorted.
 func (db *DB) Snapshots() []simtime.Day {
 	db.mu.RLock()

@@ -71,6 +71,43 @@ func TestVersionedSnapshots(t *testing.T) {
 	}
 }
 
+func TestVersionIndex(t *testing.T) {
+	db := NewDB()
+	cut := simtime.MustParse("2022-03-03")
+	if db.Version(simtime.StudyStart) != -1 {
+		t.Error("empty DB should report version -1")
+	}
+	if err := db.Snapshot(simtime.StudyStart, NewBuilder().Add(pfx("11.5.0.0/16"), SE)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Snapshot(cut, NewBuilder().Add(pfx("11.5.0.0/16"), RU)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		day  simtime.Day
+		want int
+	}{
+		{simtime.StudyStart - 1, -1},
+		{simtime.StudyStart, 0},
+		{cut - 1, 0},
+		{cut, 1},
+		{simtime.StudyEnd, 1},
+	}
+	for _, c := range cases {
+		if got := db.Version(c.day); got != c.want {
+			t.Errorf("Version(%s) = %d, want %d", c.day, got, c.want)
+		}
+	}
+	// The contract the analysis memoization relies on: equal versions mean
+	// equal lookup results.
+	a := ip("11.5.1.1")
+	g1, _ := db.Lookup(simtime.StudyStart, a)
+	g2, _ := db.Lookup(cut-1, a)
+	if db.Version(simtime.StudyStart) == db.Version(cut-1) && g1 != g2 {
+		t.Error("same version produced different lookups")
+	}
+}
+
 func TestDuplicateSnapshotRejected(t *testing.T) {
 	db := NewDB()
 	if err := db.Snapshot(0, NewBuilder().Add(pfx("11.0.0.0/16"), RU)); err != nil {

@@ -10,6 +10,7 @@ package openintel
 import (
 	"context"
 	"fmt"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 
@@ -178,17 +179,24 @@ func (p *Pipeline) measure(ctx context.Context, day simtime.Day, domain string) 
 	}
 	nx := len(nsHosts) == 0
 	m.Config.NSHosts = nsHosts
-	seen := make(map[string]struct{}, len(nsHosts))
-	for _, h := range nsHosts {
-		if _, dup := seen[h]; dup {
+	// NS sets are ≤4 hosts in the common case, so a linear duplicate scan
+	// over the earlier hosts replaces the per-domain seen map, and a small
+	// stack buffer absorbs the address appends; the config keeps one
+	// exact-size copy.
+	var addrBuf [8]netip.Addr
+	nsAddrs := addrBuf[:0]
+	for i, h := range nsHosts {
+		if hostSeenBefore(nsHosts[:i], h) {
 			continue
 		}
-		seen[h] = struct{}{}
 		addrs, err := p.Resolver.LookupHost(ctx, h, 0)
 		if err != nil {
 			continue // unreachable NS host: record what we can
 		}
-		m.Config.NSAddrs = append(m.Config.NSAddrs, addrs...)
+		nsAddrs = append(nsAddrs, addrs...)
+	}
+	if len(nsAddrs) > 0 {
+		m.Config.NSAddrs = append(make([]netip.Addr, 0, len(nsAddrs)), nsAddrs...)
 	}
 	unreachable := len(nsHosts) > 0 && len(m.Config.NSAddrs) == 0
 	apex, err := p.Resolver.LookupA(ctx, domain)
@@ -197,14 +205,34 @@ func (p *Pipeline) measure(ctx context.Context, day simtime.Day, domain string) 
 	}
 	if p.CollectMX {
 		if res, err := p.Resolver.Resolve(ctx, domain, dns.TypeMX); err == nil {
+			n := 0
 			for _, rr := range res.Answers {
 				if rr.Type == dns.TypeMX {
-					m.Config.MXHosts = append(m.Config.MXHosts, rr.Data.(dns.MXData).Host)
+					n++
+				}
+			}
+			if n > 0 {
+				m.Config.MXHosts = make([]string, 0, n)
+				for _, rr := range res.Answers {
+					if rr.Type == dns.TypeMX {
+						m.Config.MXHosts = append(m.Config.MXHosts, rr.Data.(dns.MXData).Host)
+					}
 				}
 			}
 		}
 	}
 	return m, nx, unreachable
+}
+
+// hostSeenBefore reports whether h already occurred among the earlier
+// hosts of the same NS set (sets are tiny; no map needed).
+func hostSeenBefore(earlier []string, h string) bool {
+	for _, e := range earlier {
+		if e == h {
+			return true
+		}
+	}
+	return false
 }
 
 // Schedule produces the sweep days for a study window: monthly snapshots

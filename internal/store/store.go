@@ -103,6 +103,9 @@ type Store struct {
 	mu      sync.RWMutex
 	domains map[string]*domainSeries
 	sweeps  []simtime.Day // sorted unique sweep days recorded
+	// index is the cached sorted domain list; nil means dirty (a domain
+	// was added since the last build). Rebuilt lazily by sortedIndex.
+	index []string
 	// naive counts what the uncompressed record count would be, for the
 	// compression-ratio ablation.
 	naive int64
@@ -134,6 +137,7 @@ func (s *Store) Add(m Measurement) {
 	if !ok {
 		ds = &domainSeries{}
 		s.domains[m.Domain] = ds
+		s.index = nil // new domain invalidates the sorted index
 	}
 	if n := len(ds.epochs); n > 0 && ds.epochs[n-1].config.Equal(cfg) && ds.epochs[n-1].lastSeen <= m.Day {
 		ds.epochs[n-1].lastSeen = m.Day
@@ -156,11 +160,7 @@ func (s *Store) At(domain string, day simtime.Day) (Config, bool) {
 }
 
 func (ds *domainSeries) at(day simtime.Day) (Config, bool) {
-	i := sort.Search(len(ds.epochs), func(i int) bool { return ds.epochs[i].from > day })
-	if i == 0 {
-		return Config{}, false
-	}
-	return ds.epochs[i-1].config, true
+	return epochAt(ds.epochs, day)
 }
 
 // MeasuredOn reports whether the domain was seen on a sweep at or before
@@ -182,16 +182,32 @@ func (s *Store) MeasuredOn(domain string, day simtime.Day) bool {
 	return i < len(ds.epochs) || ds.epochs[i-1].lastSeen >= day
 }
 
+// sortedIndex returns the cached sorted domain list, rebuilding it when a
+// new domain has been added since the last build. The returned slice is
+// shared and must not be mutated.
+func (s *Store) sortedIndex() []string {
+	s.mu.RLock()
+	idx := s.index
+	s.mu.RUnlock()
+	if idx != nil {
+		return idx
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.index == nil {
+		idx = make([]string, 0, len(s.domains))
+		for d := range s.domains {
+			idx = append(idx, d)
+		}
+		sort.Strings(idx)
+		s.index = idx
+	}
+	return s.index
+}
+
 // Domains returns all measured domain names, sorted.
 func (s *Store) Domains() []string {
-	s.mu.RLock()
-	out := make([]string, 0, len(s.domains))
-	for d := range s.domains {
-		out = append(out, d)
-	}
-	s.mu.RUnlock()
-	sort.Strings(out)
-	return out
+	return append([]string(nil), s.sortedIndex()...)
 }
 
 // NumDomains returns the number of measured domains.
@@ -209,21 +225,133 @@ func (s *Store) Sweeps() []simtime.Day {
 }
 
 // ForEachAt calls fn with every domain measured on day (per MeasuredOn)
-// and its configuration at that day, in sorted domain order.
+// and its configuration at that day, in sorted domain order. The day's
+// view is gathered under a single read lock, then fn runs unlocked (so it
+// may call back into the store).
 func (s *Store) ForEachAt(day simtime.Day, fn func(domain string, cfg Config)) {
-	for _, d := range s.Domains() {
-		s.mu.RLock()
+	idx := s.sortedIndex()
+	type hit struct {
+		domain string
+		cfg    Config
+	}
+	hits := make([]hit, 0, len(idx))
+	s.mu.RLock()
+	for _, d := range idx {
 		ds := s.domains[d]
 		i := sort.Search(len(ds.epochs), func(i int) bool { return ds.epochs[i].from > day })
-		var cfg Config
-		covered := false
 		if i > 0 && (i < len(ds.epochs) || ds.epochs[i-1].lastSeen >= day) {
-			cfg = ds.epochs[i-1].config
-			covered = true
+			hits = append(hits, hit{domain: d, cfg: ds.epochs[i-1].config})
 		}
-		s.mu.RUnlock()
-		if covered {
-			fn(d, cfg)
+	}
+	s.mu.RUnlock()
+	for _, h := range hits {
+		fn(h.domain, h.cfg)
+	}
+}
+
+// Snapshot is a read-only capture of the store: the sorted domain list and
+// every domain's epochs, copied under one lock. Analyses iterate a
+// Snapshot lock-free (and concurrently) while collection may continue to
+// mutate the live store.
+type Snapshot struct {
+	domains []string
+	series  [][]epoch // parallel to domains
+	sweeps  []simtime.Day
+}
+
+// Snapshot captures the store's current contents.
+func (s *Store) Snapshot() *Snapshot {
+	idx := s.sortedIndex()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	series := make([][]epoch, len(idx))
+	for i, d := range idx {
+		// Copy the epoch structs: Add mutates the live tail epoch's
+		// lastSeen in place. The configs' slices are immutable once stored.
+		series[i] = append([]epoch(nil), s.domains[d].epochs...)
+	}
+	return &Snapshot{
+		domains: idx,
+		series:  series,
+		sweeps:  append([]simtime.Day(nil), s.sweeps...),
+	}
+}
+
+// Domains returns the snapshot's sorted domain names. The slice is shared
+// and must not be mutated.
+func (sn *Snapshot) Domains() []string { return sn.domains }
+
+// NumDomains returns the number of captured domains.
+func (sn *Snapshot) NumDomains() int { return len(sn.domains) }
+
+// Sweeps returns the sweep days captured in the snapshot.
+func (sn *Snapshot) Sweeps() []simtime.Day { return sn.sweeps }
+
+// At returns the domain's configuration at day, with the same semantics as
+// Store.At.
+func (sn *Snapshot) At(i int, day simtime.Day) (Config, bool) {
+	return epochAt(sn.series[i], day)
+}
+
+// MeasuredAt reports whether domain i was measured on day, with the same
+// semantics as Store.MeasuredOn.
+func (sn *Snapshot) MeasuredAt(i int, day simtime.Day) bool {
+	es := sn.series[i]
+	j := sort.Search(len(es), func(j int) bool { return es[j].from > day })
+	if j == 0 {
+		return false
+	}
+	return j < len(es) || es[j-1].lastSeen >= day
+}
+
+func epochAt(es []epoch, day simtime.Day) (Config, bool) {
+	i := sort.Search(len(es), func(i int) bool { return es[i].from > day })
+	if i == 0 {
+		return Config{}, false
+	}
+	return es[i-1].config, true
+}
+
+// ForEachEpochIn yields every domain's epochs intersected with the sorted
+// sweep days: fn is called once per (domain, epoch) whose effective
+// interval covers at least one of days, with [lo, hi) the covered index
+// range into days. An epoch's effective interval runs from its first
+// sweep to the day before the next epoch starts (a later epoch means the
+// domain stayed in the zone), or to its last sighting for the final epoch
+// — exactly the days ForEachAt would report the domain measured.
+//
+// This is the analysis fast path: classification work that is constant
+// over an epoch runs once per epoch instead of once per day.
+func (sn *Snapshot) ForEachEpochIn(days []simtime.Day, fn func(domain string, cfg Config, lo, hi int)) {
+	sn.VisitEpochs(days, 0, len(sn.domains), fn)
+}
+
+// VisitEpochs is ForEachEpochIn restricted to the domains with index in
+// [first, last), enabling callers to shard a snapshot across workers.
+func (sn *Snapshot) VisitEpochs(days []simtime.Day, first, last int, fn func(domain string, cfg Config, lo, hi int)) {
+	if first < 0 {
+		first = 0
+	}
+	if last > len(sn.domains) {
+		last = len(sn.domains)
+	}
+	for i := first; i < last; i++ {
+		domain := sn.domains[i]
+		es := sn.series[i]
+		lo := 0
+		for j, e := range es {
+			start := e.from
+			end := e.lastSeen
+			if j+1 < len(es) {
+				end = es[j+1].from - 1
+			}
+			// Epochs ascend, so each search resumes where the last ended.
+			l := lo + sort.Search(len(days)-lo, func(k int) bool { return days[lo+k] >= start })
+			h := l + sort.Search(len(days)-l, func(k int) bool { return days[l+k] > end })
+			lo = h
+			if l < h {
+				fn(domain, e.config, l, h)
+			}
 		}
 	}
 }

@@ -199,6 +199,122 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDomainsIndexInvalidation(t *testing.T) {
+	s := New()
+	c := cfg([]string{"ns.x.ru."}, nil, nil)
+	s.Add(Measurement{Domain: "b.ru.", Day: 10, Config: c})
+	if got := s.Domains(); !reflect.DeepEqual(got, []string{"b.ru."}) {
+		t.Fatalf("Domains = %v", got)
+	}
+	// Re-measuring an existing domain must not disturb the cached index;
+	// a new domain must invalidate it.
+	s.Add(Measurement{Domain: "b.ru.", Day: 11, Config: c})
+	s.Add(Measurement{Domain: "a.ru.", Day: 11, Config: c})
+	if got := s.Domains(); !reflect.DeepEqual(got, []string{"a.ru.", "b.ru."}) {
+		t.Fatalf("Domains after invalidation = %v", got)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the index.
+	first := s.Domains()
+	first[0] = "zzz.ru."
+	if got := s.Domains(); got[0] != "a.ru." {
+		t.Fatalf("Domains shared its cache: %v", got)
+	}
+}
+
+// TestSnapshotEpochRanges pins the visitor's interval semantics against
+// ForEachAt: an epoch covers its sweeps, carries across gaps when a later
+// epoch exists, and ends at its last sighting for the final epoch.
+func TestSnapshotEpochRanges(t *testing.T) {
+	s := New()
+	c1 := cfg([]string{"ns1.x.ru."}, nil, nil)
+	c2 := cfg([]string{"ns2.x.ru."}, nil, nil)
+	// a.ru.: c1 on days 10-20, gap, c2 on day 40 (dropout after 40).
+	for _, d := range []simtime.Day{10, 20} {
+		s.BeginSweep(d)
+		s.Add(Measurement{Domain: "a.ru.", Day: d, Config: c1})
+	}
+	s.BeginSweep(30) // a.ru. missed this sweep (epoch gap)
+	s.BeginSweep(40)
+	s.Add(Measurement{Domain: "a.ru.", Day: 40, Config: c2})
+	s.BeginSweep(50) // a.ru. gone
+
+	days := []simtime.Day{5, 10, 20, 30, 40, 50}
+	snap := s.Snapshot()
+	type visit struct {
+		cfg    Config
+		lo, hi int
+	}
+	var visits []visit
+	snap.ForEachEpochIn(days, func(domain string, cfg Config, lo, hi int) {
+		if domain != "a.ru." {
+			t.Fatalf("unexpected domain %s", domain)
+		}
+		visits = append(visits, visit{cfg: cfg, lo: lo, hi: hi})
+	})
+	// c1 covers days[1:4] (10, 20 and the gap day 30: a later epoch means
+	// still in zone); c2 covers days[4:5] (40 only — 50 is past lastSeen).
+	if len(visits) != 2 {
+		t.Fatalf("visits = %d, want 2", len(visits))
+	}
+	if !visits[0].cfg.Equal(c1) || visits[0].lo != 1 || visits[0].hi != 4 {
+		t.Fatalf("first epoch range = [%d,%d)", visits[0].lo, visits[0].hi)
+	}
+	if !visits[1].cfg.Equal(c2) || visits[1].lo != 4 || visits[1].hi != 5 {
+		t.Fatalf("second epoch range = [%d,%d)", visits[1].lo, visits[1].hi)
+	}
+
+	// Cross-check the visitor against ForEachAt on every day.
+	perDay := make([]int, len(days))
+	for i, d := range days {
+		s.ForEachAt(d, func(string, Config) { perDay[i]++ })
+	}
+	visited := make([]int, len(days))
+	snap.ForEachEpochIn(days, func(_ string, _ Config, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			visited[i]++
+		}
+	})
+	if !reflect.DeepEqual(perDay, visited) {
+		t.Fatalf("visitor coverage %v != ForEachAt coverage %v", visited, perDay)
+	}
+}
+
+func TestSnapshotAtAndMeasuredAt(t *testing.T) {
+	s := New()
+	c := cfg([]string{"ns.x.ru."}, nil, nil)
+	s.BeginSweep(10)
+	s.Add(Measurement{Domain: "d.ru.", Day: 10, Config: c})
+	s.BeginSweep(20)
+	s.Add(Measurement{Domain: "d.ru.", Day: 20, Config: c})
+	snap := s.Snapshot()
+	if snap.NumDomains() != 1 || snap.Domains()[0] != "d.ru." {
+		t.Fatalf("snapshot domains = %v", snap.Domains())
+	}
+	for _, day := range []simtime.Day{9, 10, 15, 21} {
+		gotCfg, gotOK := snap.At(0, day)
+		wantCfg, wantOK := s.At("d.ru.", day)
+		if gotOK != wantOK || (gotOK && !gotCfg.Equal(wantCfg)) {
+			t.Fatalf("Snapshot.At(%d) diverges from Store.At", day)
+		}
+		if snap.MeasuredAt(0, day) != s.MeasuredOn("d.ru.", day) {
+			t.Fatalf("Snapshot.MeasuredAt(%d) diverges from Store.MeasuredOn", day)
+		}
+	}
+	// The snapshot must not see writes that land after the capture.
+	s.BeginSweep(30)
+	s.Add(Measurement{Domain: "d.ru.", Day: 30, Config: c})
+	s.Add(Measurement{Domain: "new.ru.", Day: 30, Config: c})
+	if snap.NumDomains() != 1 {
+		t.Fatal("snapshot grew after capture")
+	}
+	if snap.MeasuredAt(0, 30) {
+		t.Fatal("snapshot saw a post-capture sweep")
+	}
+	if len(snap.Sweeps()) != 2 {
+		t.Fatalf("snapshot sweeps = %v", snap.Sweeps())
+	}
+}
+
 func TestCodecRejectsJunk(t *testing.T) {
 	if _, err := Read(bytes.NewReader([]byte("XXXX"))); err == nil {
 		t.Fatal("bad magic accepted")
