@@ -10,10 +10,17 @@
 //	rustore domains FILE [prefix]
 //	rustore history FILE DOMAIN
 //	rustore csv     FILE DOMAIN > out.csv
+//	rustore fsck    FILE [-repair]
+//
+// fsck verifies the per-section checksums of a store file ("WRST") or a
+// sweep journal ("WRJL"), reports what a torn or bit-flipped file still
+// holds, and with -repair truncates a journal's torn tail in place or
+// rewrites a store to its recoverable contents.
 package main
 
 import (
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
 	"strings"
@@ -32,9 +39,14 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 2 {
-		return fmt.Errorf("usage: rustore info|domains|history|csv FILE [args]")
+		return fmt.Errorf("usage: rustore info|domains|history|csv|fsck FILE [args]")
 	}
 	cmd, path := args[0], args[1]
+	if cmd == "fsck" {
+		// fsck does its own file handling: it must read damaged files the
+		// strict decoder below would reject.
+		return fsck(path, len(args) > 2 && args[2] == "-repair")
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -67,6 +79,98 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// fsck verifies a store or journal file by its magic, reports recoverable
+// damage, and optionally repairs it.
+func fsck(path string, repair bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	var magic [4]byte
+	_, err = io.ReadFull(f, magic[:])
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("fsck: %s: too short to hold a header", path)
+	}
+	switch string(magic[:]) {
+	case "WRST":
+		return fsckStore(path, repair)
+	case "WRJL":
+		return fsckJournal(path, repair)
+	default:
+		return fmt.Errorf("fsck: %s: unrecognized magic %q", path, magic)
+	}
+}
+
+func fsckStore(path string, repair bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	st, rec, err := store.ReadRecover(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("fsck: %s: %w", path, err)
+	}
+	fmt.Printf("%s: store format v%d\n", path, rec.Version)
+	fmt.Printf("  domains:    %d of %d recovered\n", rec.Domains, rec.ExpectedDomains)
+	fmt.Printf("  good bytes: %d\n", rec.GoodBytes)
+	if !rec.Damaged {
+		fmt.Println("  clean: all checksums verified")
+		return nil
+	}
+	fmt.Printf("  DAMAGED: %s\n", rec.Reason)
+	if !repair {
+		return fmt.Errorf("fsck: %s holds recoverable damage (re-run with -repair to rewrite the recovered contents)", path)
+	}
+	// Rewrite atomically: the recovered store to a temp file, then rename
+	// over the damaged one. Repair always writes the current (v3) format.
+	tmp := path + ".fsck"
+	out, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := st.WriteTo(out); err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	fmt.Printf("  repaired: rewrote %d recovered domains\n", rec.Domains)
+	return nil
+}
+
+func fsckJournal(path string, repair bool) error {
+	replay, err := store.VerifyJournal(path)
+	if err != nil {
+		return fmt.Errorf("fsck: %s: %w", path, err)
+	}
+	fmt.Printf("%s: sweep journal\n", path)
+	fmt.Printf("  sweeps:     %d replayable segments\n", len(replay.Sweeps))
+	fmt.Printf("  good bytes: %d\n", replay.GoodBytes)
+	if !replay.Torn() {
+		fmt.Println("  clean: all segment checksums verified")
+		return nil
+	}
+	fmt.Printf("  DAMAGED: %d torn trailing bytes\n", replay.TornBytes)
+	if !repair {
+		return fmt.Errorf("fsck: %s has a torn tail (re-run with -repair to truncate it)", path)
+	}
+	after, err := store.RepairJournal(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  repaired: truncated to %d bytes, %d sweeps retained\n", after.GoodBytes, len(after.Sweeps))
+	return nil
 }
 
 func info(st *store.Store) error {

@@ -15,23 +15,36 @@
 //	-analysis-workers N  analysis shard count (default 0 = one per CPU)
 //	-markdown FILE  also write the EXPERIMENTS.md content to FILE
 //	-store FILE     also write the binary measurement store to FILE
+//	-checkpoint F   journal each completed sweep to F (crash-safe collection)
+//	-resume         replay the checkpoint journal and continue from the
+//	                first unswept day (requires -checkpoint)
+//	-drop DATES     comma-separated YYYY-MM-DD days to skip, simulating
+//	                collection outages (flagged as gaps in the analyses)
+//	-crash-after N  test hook: exit with code 3 after N checkpointed sweeps
 //	-quiet          suppress progress logging
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"whereru/internal/core"
+	"whereru/internal/simtime"
 	"whereru/internal/world"
 )
 
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, core.ErrCrashInjected) {
+			fmt.Fprintln(os.Stderr, "whereru:", err)
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "whereru:", err)
 		os.Exit(1)
 	}
@@ -47,8 +60,26 @@ func run() error {
 	storePath := flag.String("store", "", "write the binary measurement store to this file")
 	csvDir := flag.String("csvdir", "", "write per-figure CSV series into this directory")
 	mx := flag.Bool("mx", true, "collect MX records (mail-measurement extension)")
+	checkpoint := flag.String("checkpoint", "", "journal each completed sweep to this file (crash-safe collection)")
+	resume := flag.Bool("resume", false, "replay the -checkpoint journal, then continue from the first unswept day")
+	drop := flag.String("drop", "", "comma-separated YYYY-MM-DD sweep days to skip (simulated collection outages)")
+	crashAfter := flag.Int("crash-after", 0, "test hook: exit code 3 after N checkpointed sweeps")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	flag.Parse()
+
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	var dropDays []simtime.Day
+	if *drop != "" {
+		for _, tok := range strings.Split(*drop, ",") {
+			d, err := simtime.Parse(strings.TrimSpace(tok))
+			if err != nil {
+				return fmt.Errorf("-drop: %w", err)
+			}
+			dropDays = append(dropDays, d)
+		}
+	}
 
 	opts := core.Options{
 		World:           world.Config{Seed: *seed, Scale: *scale, RFShare: 0.10},
@@ -56,6 +87,10 @@ func run() error {
 		Workers:         *workers,
 		AnalysisWorkers: *analysisWorkers,
 		CollectMX:       *mx,
+		CheckpointPath:  *checkpoint,
+		Resume:          *resume,
+		DropSweeps:      dropDays,
+		CrashAfter:      *crashAfter,
 	}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {

@@ -86,6 +86,12 @@ type Point struct {
 	// Total is the number of measured domains that day (the figures'
 	// black "#names" curve).
 	Total int
+	// Interpolated marks a day no sweep actually covered: the values are
+	// carried forward from the last measurement rather than observed. The
+	// paper's own figures contain such a region (the OpenINTEL outage,
+	// footnote 8); flagging it keeps carry-forward from masquerading as
+	// fresh data.
+	Interpolated bool
 }
 
 // FullPct returns Full as a percentage of classified domains.

@@ -216,9 +216,10 @@ func (a *Analyzer) epochSeries(days []simtime.Day, filter Filter, mk classifierF
 
 	// Deterministic merge: sum the shard deltas, then prefix-sum along the
 	// day axis.
+	sweeps := snap.Sweeps()
 	var run [nClasses]int
 	for i, day := range days {
-		p := Point{Day: day}
+		p := Point{Day: day, Interpolated: !sweptDay(sweeps, day)}
 		for c := 0; c < nClasses; c++ {
 			for s := 0; s < used; s++ {
 				if shards[s][c] != nil {
@@ -245,8 +246,9 @@ func (a *Analyzer) epochSeries(days []simtime.Day, filter Filter, mk classifierF
 // production entry points all run the epoch engine.
 func (a *Analyzer) referenceSeries(days []simtime.Day, filter Filter, classify func(simtime.Day, store.Config) Composition) []Point {
 	out := make([]Point, 0, len(days))
+	sweeps := a.Store.Sweeps()
 	for _, day := range days {
-		p := Point{Day: day}
+		p := Point{Day: day, Interpolated: !sweptDay(sweeps, day)}
 		a.Store.ForEachAt(day, func(domain string, cfg store.Config) {
 			if filter != nil && !filter(domain) {
 				return
@@ -380,6 +382,14 @@ func epochShareSeries[K comparable](a *Analyzer, days []simtime.Day, filter Filt
 		return rt, rs, rc
 	}
 	return totals, subs, counts
+}
+
+// sweptDay reports whether day is one of the (sorted) recorded sweep
+// days. A series point on a day no sweep covered is carry-forward data
+// and gets flagged Interpolated.
+func sweptDay(sweeps []simtime.Day, day simtime.Day) bool {
+	i := sort.Search(len(sweeps), func(i int) bool { return sweeps[i] >= day })
+	return i < len(sweeps) && sweeps[i] == day
 }
 
 // uniqueAppend appends k to dst unless already present (key sets per

@@ -26,9 +26,36 @@ func (s *Study) sanctionedFilter() analysis.Filter {
 	return func(domain string) bool { return sanc.ContainsEver(domain) }
 }
 
-// keyDays returns the standard measurement days for longitudinal series:
-// every collected sweep (charts consume them all).
-func (s *Study) keyDays() []simtime.Day { return s.Sweeps }
+// keyDays returns the standard day axis for longitudinal series: every
+// collected sweep plus every scheduled-but-missed day, so collection
+// gaps appear as explicit carry-forward points (flagged Interpolated by
+// the engine) instead of silently vanishing from the axis.
+func (s *Study) keyDays() []simtime.Day {
+	return mergeDays(s.Sweeps, s.Store.MissingSweeps())
+}
+
+// mergeDays merges two sorted day lists, dropping duplicates.
+func mergeDays(a, b []simtime.Day) []simtime.Day {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]simtime.Day, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default: // equal
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}
 
 // Fig1 computes the Figure 1 series (NS-infrastructure composition).
 func (s *Study) Fig1() []analysis.Point {
@@ -64,7 +91,7 @@ var fig4ASNs = []struct {
 // dense window.
 func (s *Study) Fig4() []analysis.ASNSharePoint {
 	var days []simtime.Day
-	for _, d := range s.Sweeps {
+	for _, d := range s.keyDays() {
 		if d >= simtime.Date(2022, 2, 1) {
 			days = append(days, d)
 		}
@@ -76,7 +103,7 @@ func (s *Study) Fig4() []analysis.ASNSharePoint {
 // over the 2022 dense window.
 func (s *Study) Fig5() []analysis.Point {
 	var days []simtime.Day
-	for _, d := range s.Sweeps {
+	for _, d := range s.keyDays() {
 		if d >= simtime.Date(2022, 2, 1) {
 			days = append(days, d)
 		}
@@ -137,15 +164,19 @@ func compositionChart(title string, series []analysis.Point) *report.Chart {
 	part := report.Series{Name: "Part Russian", Mark: 'P', Points: map[simtime.Day]float64{}}
 	non := report.Series{Name: "Non Russian", Mark: 'N', Points: map[simtime.Day]float64{}}
 	days := make([]simtime.Day, 0, len(series))
+	var gaps []simtime.Day
 	for _, p := range series {
 		days = append(days, p.Day)
+		if p.Interpolated {
+			gaps = append(gaps, p.Day)
+		}
 		full.Points[p.Day] = p.FullPct()
 		part.Points[p.Day] = p.PartPct()
 		non.Points[p.Day] = p.NonPct()
 	}
 	return &report.Chart{
 		Title: title, YLabel: "% of domains", YMax: 100,
-		Days: days, Series: []report.Series{full, part, non},
+		Days: days, Series: []report.Series{full, part, non}, Gaps: gaps,
 	}
 }
 
@@ -360,7 +391,7 @@ func (s *Study) RenderAll(w io.Writer) error {
 		}
 		f3Series = append(f3Series, ser)
 	}
-	f3Chart := &report.Chart{Title: "Figure 3: top-5 TLDs of authoritative name servers", YLabel: "% of domains", YMax: 100, Days: s.keyDays(), Series: f3Series}
+	f3Chart := &report.Chart{Title: "Figure 3: top-5 TLDs of authoritative name servers", YLabel: "% of domains", YMax: 100, Days: s.keyDays(), Series: f3Series, Gaps: s.Store.MissingSweeps()}
 	if _, err := f3Chart.WriteTo(w); err != nil {
 		return err
 	}
@@ -381,7 +412,7 @@ func (s *Study) RenderAll(w io.Writer) error {
 		}
 		f4Series = append(f4Series, ser)
 	}
-	f4Chart := &report.Chart{Title: "Figure 4: hosting networks of .ru/.рф domains (top ASNs, 2022)", YLabel: "% of domains", YMax: 20, Days: f4Days, Series: f4Series}
+	f4Chart := &report.Chart{Title: "Figure 4: hosting networks of .ru/.рф domains (top ASNs, 2022)", YLabel: "% of domains", YMax: 20, Days: f4Days, Series: f4Series, Gaps: s.Store.MissingSweeps()}
 	if _, err := f4Chart.WriteTo(w); err != nil {
 		return err
 	}
@@ -656,13 +687,17 @@ func (s *Study) ExportCSV(create func(name string) (io.WriteCloser, error)) erro
 	comp := func(series []analysis.Point) [][]string {
 		rows := make([][]string, 0, len(series))
 		for _, p := range series {
+			interp := "0"
+			if p.Interpolated {
+				interp = "1"
+			}
 			rows = append(rows, []string{p.Day.String(),
 				fmt.Sprintf("%.4f", p.FullPct()), fmt.Sprintf("%.4f", p.PartPct()),
-				fmt.Sprintf("%.4f", p.NonPct()), fmt.Sprint(p.Total)})
+				fmt.Sprintf("%.4f", p.NonPct()), fmt.Sprint(p.Total), interp})
 		}
 		return rows
 	}
-	compHeader := []string{"day", "full_pct", "part_pct", "non_pct", "total"}
+	compHeader := []string{"day", "full_pct", "part_pct", "non_pct", "total", "interpolated"}
 	if err := writeSeries("fig1_ns_composition.csv", compHeader, comp(s.Fig1())); err != nil {
 		return err
 	}

@@ -52,9 +52,36 @@ type Options struct {
 	// (footnote 8) as a fault-profile outage window on the registry TLD
 	// servers — the declarative re-expression of World.SetOutage.
 	SimulateOutage bool
+	// CheckpointPath, when set, makes collection crash-safe: every
+	// completed sweep is appended to an fsynced journal at this path, so
+	// a killed run can pick up where it left off.
+	CheckpointPath string
+	// Resume replays an existing journal at CheckpointPath before
+	// collecting: journaled sweeps load from disk, collection continues
+	// from the first unswept scheduled day, and the final results are
+	// byte-identical to an uninterrupted run. Without Resume the journal
+	// is created fresh (truncating any previous one).
+	Resume bool
+	// DropSweeps lists scheduled days to deliberately skip, simulating
+	// collection outages: the store records them as missing, the analyses
+	// flag their series points Interpolated, and the charts mark them.
+	DropSweeps []simtime.Day
+	// StudyStart/StudyEnd override the collection window (zero = the
+	// paper's 2017-06-18 .. 2022-05-25). Tests use short windows to
+	// exercise crash/resume cheaply.
+	StudyStart, StudyEnd simtime.Day
+	// CrashAfter, when > 0, aborts Collect with ErrCrashInjected after
+	// that many live (non-replayed) sweeps have been journaled — the test
+	// hook behind the crash-resume smoke test. The TLS scans are skipped;
+	// a resumed run redoes them.
+	CrashAfter int
 	// Progress, if non-nil, receives human-readable progress lines.
 	Progress func(format string, args ...any)
 }
+
+// ErrCrashInjected is returned by Collect when Options.CrashAfter fires:
+// the simulated hard kill of the collection process.
+var ErrCrashInjected = fmt.Errorf("core: crash injected after checkpoint")
 
 // DefaultOptions returns the full-fidelity configuration.
 func DefaultOptions() Options {
@@ -118,9 +145,18 @@ func New(opts Options) (*Study, error) {
 
 // Collect runs the full measurement campaign: DNS sweeps over the study
 // window (monthly, then dense for 2022) and weekly TLS scans over the
-// Russian-CA window.
+// Russian-CA window. With CheckpointPath set each completed sweep is
+// journaled durably; with Resume the journal's sweeps replay from disk
+// and collection continues from the first unswept scheduled day.
 func (s *Study) Collect(ctx context.Context) error {
-	s.Sweeps = openintel.Schedule(simtime.StudyStart, simtime.StudyEnd, s.Opts.DenseFrom, s.Opts.DenseStep)
+	start, end := s.Opts.StudyStart, s.Opts.StudyEnd
+	if start == 0 {
+		start = simtime.StudyStart
+	}
+	if end == 0 {
+		end = simtime.StudyEnd
+	}
+	schedule := openintel.Schedule(start, end, s.Opts.DenseFrom, s.Opts.DenseStep)
 	resolver := s.World.NewResolver()
 	if s.Opts.Loss > 0 || s.Opts.SimulateOutage {
 		seed := s.Opts.FaultSeed
@@ -142,15 +178,61 @@ func (s *Study) Collect(ctx context.Context) error {
 		Workers:   s.Opts.Workers,
 		CollectMX: s.Opts.CollectMX,
 	}
-	s.Opts.Progress("collecting %d DNS sweeps (%s .. %s)...", len(s.Sweeps), simtime.StudyStart, simtime.StudyEnd)
-	for i, day := range s.Sweeps {
+
+	done := map[simtime.Day]bool{}
+	if s.Opts.CheckpointPath != "" {
+		if s.Opts.Resume {
+			j, replay, err := store.OpenJournal(s.Opts.CheckpointPath)
+			if err != nil {
+				return fmt.Errorf("core: opening checkpoint: %w", err)
+			}
+			defer j.Close()
+			if replay.Torn() {
+				s.Opts.Progress("warning: checkpoint had a torn tail (%d bytes dropped); resuming from the last complete sweep", replay.TornBytes)
+			}
+			s.Stats = append(s.Stats, pipe.ReplayJournal(replay)...)
+			done = openintel.Covered(replay)
+			s.Opts.Progress("resumed %d journaled sweeps from %s", len(replay.Sweeps), s.Opts.CheckpointPath)
+			pipe.Checkpoint = j
+		} else {
+			j, err := store.CreateJournal(s.Opts.CheckpointPath)
+			if err != nil {
+				return fmt.Errorf("core: creating checkpoint: %w", err)
+			}
+			defer j.Close()
+			pipe.Checkpoint = j
+		}
+	}
+	drop := map[simtime.Day]bool{}
+	for _, d := range s.Opts.DropSweeps {
+		drop[d] = true
+	}
+
+	s.Sweeps = s.Store.Sweeps()
+	s.Opts.Progress("collecting %d DNS sweeps (%s .. %s)...", len(schedule), start, end)
+	live := 0
+	for i, day := range schedule {
+		if done[day] {
+			continue
+		}
+		if drop[day] {
+			if err := pipe.SkipSweep(day); err != nil {
+				return fmt.Errorf("core: skipping sweep %s: %w", day, err)
+			}
+			continue
+		}
 		stats, err := pipe.Sweep(ctx, day)
 		if err != nil {
 			return fmt.Errorf("core: sweep %s: %w", day, err)
 		}
+		s.Sweeps = append(s.Sweeps, day)
 		s.Stats = append(s.Stats, stats)
+		live++
+		if s.Opts.CrashAfter > 0 && live >= s.Opts.CrashAfter {
+			return ErrCrashInjected
+		}
 		if (i+1)%25 == 0 {
-			s.Opts.Progress("  sweep %d/%d done (%s: %d domains)", i+1, len(s.Sweeps), day, stats.Domains)
+			s.Opts.Progress("  sweep %d/%d done (%s: %d domains)", i+1, len(schedule), day, stats.Domains)
 		}
 	}
 	s.Opts.Progress("running TLS scans (%s .. %s, weekly)...", world.RussianCAStartDay, simtime.CTWindowEnd)

@@ -45,6 +45,12 @@ type Pipeline struct {
 	CollectMX bool
 	// OnProgress, if set, is called periodically with (done, total).
 	OnProgress func(done, total int)
+	// Checkpoint, when set, makes collection crash-safe: after every
+	// completed sweep (and every skipped day) the pipeline appends a
+	// checksummed segment to the journal and fsyncs it before moving on,
+	// so a killed run resumes from the first unswept day via
+	// ReplayJournal instead of starting over.
+	Checkpoint *store.Journal
 }
 
 // SweepStats summarizes one sweep. Beyond the domain-outcome counts it
@@ -104,7 +110,6 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 		m           store.Measurement
 		nx          bool
 		unreachable bool
-		fatal       error
 	}
 	jobs := make(chan string)
 	results := make(chan result)
@@ -146,6 +151,10 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 	}()
 
 	stats := SweepStats{Day: day, Domains: len(seeds)}
+	var collected []store.Measurement
+	if p.Checkpoint != nil {
+		collected = make([]store.Measurement, 0, len(seeds))
+	}
 	for r := range results {
 		if r.m.Config.Failed {
 			stats.Failed++
@@ -157,14 +166,91 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 			stats.Unreachable++
 		}
 		p.Store.Add(r.m)
+		if p.Checkpoint != nil {
+			collected = append(collected, r.m)
+		}
 	}
 	clientAfter := p.Resolver.Client.Stats()
 	stats.Retries = int(clientAfter.Retries - clientBefore.Retries)
 	stats.Recovered = int(clientAfter.Recovered - clientBefore.Recovered)
 	if err := ctx.Err(); err != nil {
+		// A cancelled sweep is incomplete: it must not reach the journal,
+		// or resume would trust a partial day as collected.
 		return stats, err
 	}
+	if p.Checkpoint != nil {
+		if err := p.Checkpoint.AppendSweep(journalRecord(stats, collected)); err != nil {
+			return stats, err
+		}
+	}
 	return stats, nil
+}
+
+func journalRecord(st SweepStats, ms []store.Measurement) store.JournalSweep {
+	return store.JournalSweep{
+		Day: st.Day,
+		Stats: store.JournalStats{
+			Domains:     st.Domains,
+			Failed:      st.Failed,
+			NXDomain:    st.NXDomain,
+			Retries:     st.Retries,
+			Recovered:   st.Recovered,
+			Unreachable: st.Unreachable,
+		},
+		Measurements: ms,
+	}
+}
+
+// SkipSweep records a scheduled day on which collection deliberately did
+// not run (a simulated outage or an operator-dropped day): the store
+// marks it missing so the analyses flag it as a gap, and the journal —
+// when checkpointing — remembers the decision so a resumed run does not
+// collect the day after all.
+func (p *Pipeline) SkipSweep(day simtime.Day) error {
+	p.Store.MarkMissingSweep(day)
+	if p.Checkpoint != nil {
+		return p.Checkpoint.AppendSweep(store.JournalSweep{Day: day, Missing: true})
+	}
+	return nil
+}
+
+// ReplayJournal applies previously journaled sweeps to the store in
+// order, reconstructing the per-sweep stats a live run would have
+// produced. Sweeps replay as measurements, missing-day markers as gap
+// records; the caller resumes collection from the first day the replay
+// does not cover.
+func (p *Pipeline) ReplayJournal(replay *store.JournalReplay) []SweepStats {
+	out := make([]SweepStats, 0, len(replay.Sweeps))
+	for _, rec := range replay.Sweeps {
+		if rec.Missing {
+			p.Store.MarkMissingSweep(rec.Day)
+			continue
+		}
+		p.Store.BeginSweep(rec.Day)
+		for _, m := range rec.Measurements {
+			p.Store.Add(m)
+		}
+		out = append(out, SweepStats{
+			Day:         rec.Day,
+			Domains:     rec.Stats.Domains,
+			Failed:      rec.Stats.Failed,
+			NXDomain:    rec.Stats.NXDomain,
+			Retries:     rec.Stats.Retries,
+			Recovered:   rec.Stats.Recovered,
+			Unreachable: rec.Stats.Unreachable,
+		})
+	}
+	return out
+}
+
+// Covered returns the set of schedule days a replay already handled
+// (collected or deliberately skipped).
+func Covered(replay *store.JournalReplay) map[simtime.Day]bool {
+	done := make(map[simtime.Day]bool, len(replay.Sweeps))
+	for _, rec := range replay.Sweeps {
+		done[rec.Day] = true
+	}
+	return done
 }
 
 // measure performs the three OpenINTEL lookups for one domain. The

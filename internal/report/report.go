@@ -82,6 +82,10 @@ type Chart struct {
 	Series []Series
 	// YMax fixes the top of the axis; 0 = auto.
 	YMax float64
+	// Gaps are scheduled-but-unmeasured days: their columns render a ':'
+	// fill so carry-forward regions are visibly distinct from measured
+	// ones (the way the paper's figures show the OpenINTEL outage).
+	Gaps []simtime.Day
 }
 
 // WriteTo renders the chart.
@@ -137,6 +141,21 @@ func (c *Chart) WriteTo(w io.Writer) (int64, error) {
 			grid[y][x] = s.Mark
 		}
 	}
+	// Gap columns: fill blank cells with ':' so the unmeasured region is
+	// visible without obscuring any plotted series marks.
+	gapShown := false
+	for _, d := range c.Gaps {
+		if d < first || d > last {
+			continue
+		}
+		gapShown = true
+		x := int(float64(d-first) / span * float64(width-1))
+		for y := 0; y < height; y++ {
+			if grid[y][x] == ' ' {
+				grid[y][x] = ':'
+			}
+		}
+	}
 	var b strings.Builder
 	if c.Title != "" {
 		fmt.Fprintf(&b, "%s\n", c.Title)
@@ -150,6 +169,9 @@ func (c *Chart) WriteTo(w io.Writer) (int64, error) {
 	legend := make([]string, 0, len(c.Series))
 	for _, s := range c.Series {
 		legend = append(legend, fmt.Sprintf("%c=%s", s.Mark, s.Name))
+	}
+	if gapShown {
+		legend = append(legend, ":=collection gap")
 	}
 	fmt.Fprintf(&b, "%8slegend: %s", "", strings.Join(legend, "  "))
 	if c.YLabel != "" {

@@ -2,90 +2,203 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"net/netip"
 	"sort"
 
 	"whereru/internal/simtime"
 )
 
-// The on-disk format is a simple length-prefixed binary layout:
+// The on-disk format (version 3) is a sequence of length-framed,
+// CRC32C-checksummed sections:
 //
 //	magic "WRST" | version u16
-//	sweepCount u32 | sweeps (i32 each)
-//	domainCount u32
-//	per domain: name | epochCount u32
-//	  per epoch: from i32 | lastSeen i32 | failed u8
-//	    nsHostCount u16 | hosts | nsAddrCount u16 | addrs(4B) |
-//	    apexAddrCount u16 | addrs(4B) | mxHostCount u16 | hosts (v2+)
+//	section: sweep days      (u32 count | i32 each)
+//	section: missing days    (u32 count | i32 each)
+//	section: domain count    (u32)
+//	per domain, one section:
+//	  name | epochCount u32
+//	    per epoch: from i32 | lastSeen i32 | failed u8
+//	      nsHostCount u16 | hosts | nsAddrCount u16 | addrs(4B) |
+//	      apexAddrCount u16 | addrs(4B) | mxHostCount u16 | hosts
 //
+// where a section is `payloadLen u32 | payload | crc32c(payload) u32`.
 // Strings are u16-length-prefixed; addresses are IPv4 (the simulation's
 // measurement plane is v4-only; AAAA support in the DNS layer is for
-// protocol completeness). Version 1 files (without the MX section) are
-// still readable.
+// protocol completeness).
+//
+// The framing makes the decoder truncation-tolerant: every complete,
+// checksum-valid domain record in a torn file is recoverable
+// (ReadRecover), and every count field is validated against the bytes
+// actually present before anything is allocated. Version 1 (no MX
+// section) and version 2 files — the unframed legacy stream — are still
+// readable.
 
 const (
 	magic   = "WRST"
-	version = 2
+	version = 3
+
+	// maxHeaderSectionBytes bounds the sweep/missing/count sections; even
+	// daily sweeps over a century fit in well under a megabyte.
+	maxHeaderSectionBytes = 1 << 20
+	// maxDomainRecordBytes bounds one domain's record. A record an
+	// attacker-shaped length field claims to be larger is corrupt by
+	// definition, so the decoder never allocates more than this for it.
+	maxDomainRecordBytes = 1 << 24
 )
 
-// WriteTo serializes the store.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encoder accumulates a section payload, latching the first overflow:
+// counts are stored as u16/u32 and a value that does not fit must fail
+// the write rather than truncate silently.
+type encoder struct {
+	buf bytes.Buffer
+	err error
+}
+
+func (e *encoder) fail(format string, args ...any) {
+	if e.err == nil {
+		e.err = fmt.Errorf("store: encode: "+format, args...)
+	}
+}
+
+func (e *encoder) u8(v byte) { e.buf.WriteByte(v) }
+
+func (e *encoder) u16(v int, what string) {
+	if v < 0 || v > math.MaxUint16 {
+		e.fail("%s %d overflows u16", what, v)
+		return
+	}
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], uint16(v))
+	e.buf.Write(b[:])
+}
+
+func (e *encoder) u32(v int, what string) {
+	if v < 0 || int64(v) > math.MaxUint32 {
+		e.fail("%s %d overflows u32", what, v)
+		return
+	}
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(v))
+	e.buf.Write(b[:])
+}
+
+func (e *encoder) i32(v int32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(v))
+	e.buf.Write(b[:])
+}
+
+func (e *encoder) str(s, what string) {
+	e.u16(len(s), what+" length")
+	e.buf.WriteString(s)
+}
+
+func (e *encoder) strs(ss []string, what string) {
+	e.u16(len(ss), what+" count")
+	for _, s := range ss {
+		e.str(s, what)
+	}
+}
+
+func (e *encoder) addrs(a []netip.Addr, what string) {
+	e.u16(len(a), what+" count")
+	for _, addr := range a {
+		b := addr.As4()
+		e.buf.Write(b[:])
+	}
+}
+
+func (e *encoder) days(ds []simtime.Day, what string) {
+	e.u32(len(ds), what+" count")
+	for _, d := range ds {
+		e.i32(int32(d))
+	}
+}
+
+// config writes the failed flag and the four record sets — the layout
+// shared by store epochs and journal measurements.
+func (e *encoder) config(c Config, domain string) {
+	if c.Failed {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.strs(c.NSHosts, domain+" NS host")
+	e.addrs(c.NSAddrs, domain+" NS addr")
+	e.addrs(c.ApexAddrs, domain+" apex addr")
+	e.strs(c.MXHosts, domain+" MX host")
+}
+
+// WriteTo serializes the store in the version-3 format.
 func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	cw := &countingWriter{w: bufio.NewWriter(w)}
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
 	cw.write([]byte(magic))
-	cw.u16(version)
-	cw.u32(uint32(len(s.sweeps)))
-	for _, d := range s.sweeps {
-		cw.i32(int32(d))
+	var vb [2]byte
+	binary.BigEndian.PutUint16(vb[:], version)
+	cw.write(vb[:])
+
+	section := func(build func(e *encoder)) error {
+		var e encoder
+		build(&e)
+		if e.err != nil {
+			return e.err
+		}
+		payload := e.buf.Bytes()
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		cw.write(hdr[:])
+		cw.write(payload)
+		var crc [4]byte
+		binary.BigEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))
+		cw.write(crc[:])
+		return cw.err
+	}
+
+	if err := section(func(e *encoder) { e.days(s.sweeps, "sweep") }); err != nil {
+		return cw.n, err
+	}
+	if err := section(func(e *encoder) { e.days(s.missing, "missing sweep") }); err != nil {
+		return cw.n, err
 	}
 	domains := make([]string, 0, len(s.domains))
 	for d := range s.domains {
 		domains = append(domains, d)
 	}
 	// Sorted for deterministic output.
-	sortStrings(domains)
-	cw.u32(uint32(len(domains)))
+	sort.Strings(domains)
+	if err := section(func(e *encoder) { e.u32(len(domains), "domain count") }); err != nil {
+		return cw.n, err
+	}
 	for _, name := range domains {
-		cw.str(name)
 		ds := s.domains[name]
-		cw.u32(uint32(len(ds.epochs)))
-		for _, e := range ds.epochs {
-			cw.i32(int32(e.from))
-			cw.i32(int32(e.lastSeen))
-			if e.config.Failed {
-				cw.write([]byte{1})
-			} else {
-				cw.write([]byte{0})
+		err := section(func(e *encoder) {
+			e.str(name, "domain name")
+			e.u32(len(ds.epochs), name+" epoch count")
+			for _, ep := range ds.epochs {
+				e.i32(int32(ep.from))
+				e.i32(int32(ep.lastSeen))
+				e.config(ep.config, name)
 			}
-			cw.u16(uint16(len(e.config.NSHosts)))
-			for _, h := range e.config.NSHosts {
-				cw.str(h)
-			}
-			cw.addrs(e.config.NSAddrs)
-			cw.addrs(e.config.ApexAddrs)
-			cw.u16(uint16(len(e.config.MXHosts)))
-			for _, h := range e.config.MXHosts {
-				cw.str(h)
-			}
+		})
+		if err != nil {
+			return cw.n, err
 		}
 	}
 	if cw.err == nil {
-		cw.err = cw.w.(*bufio.Writer).Flush()
+		cw.err = bw.Flush()
 	}
 	return cw.n, cw.err
-}
-
-func sortStrings(s []string) {
-	// small local helper to avoid importing sort twice conceptually
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 type countingWriter struct {
@@ -103,21 +216,464 @@ func (c *countingWriter) write(b []byte) {
 	c.err = err
 }
 
-func (c *countingWriter) u16(v uint16) { c.write(binary.BigEndian.AppendUint16(nil, v)) }
-func (c *countingWriter) u32(v uint32) { c.write(binary.BigEndian.AppendUint32(nil, v)) }
-func (c *countingWriter) i32(v int32)  { c.u32(uint32(v)) }
-func (c *countingWriter) str(s string) {
-	c.u16(uint16(len(s)))
-	c.write([]byte(s))
+// corrupt builds the decoder's uniform error.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("store: corrupt: "+format, args...)
 }
-func (c *countingWriter) addrs(a []netip.Addr) {
-	c.u16(uint16(len(a)))
-	for _, addr := range a {
-		b := addr.As4()
-		c.write(b[:])
+
+// byteReader decodes a section payload. Every count field is validated
+// against the bytes remaining in the payload before any allocation, so
+// a 20-byte record claiming a billion epochs fails immediately instead
+// of pre-allocating gigabytes.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = corrupt(format, args...)
 	}
 }
 
+func (r *byteReader) remaining() int { return len(r.b) - r.off }
+
+func (r *byteReader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.remaining() {
+		r.fail("%s: need %d bytes, %d remain", what, n, r.remaining())
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *byteReader) u8(what string) byte {
+	b := r.take(1, what)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u16(what string) int {
+	b := r.take(2, what)
+	if b == nil {
+		return 0
+	}
+	return int(binary.BigEndian.Uint16(b))
+}
+
+func (r *byteReader) u32(what string) int {
+	b := r.take(4, what)
+	if b == nil {
+		return 0
+	}
+	return int(binary.BigEndian.Uint32(b))
+}
+
+func (r *byteReader) i32(what string) int32 { return int32(r.u32(what)) }
+
+// count16 reads a u16 element count and rejects it when even minimally-
+// sized elements could not fit in the remaining payload.
+func (r *byteReader) count16(elemMin int, what string) int {
+	n := r.u16(what + " count")
+	if r.err == nil && n*elemMin > r.remaining() {
+		r.fail("%s count %d exceeds remaining %d bytes", what, n, r.remaining())
+		return 0
+	}
+	return n
+}
+
+// count32 is count16 for u32 counts. The division avoids overflowing
+// n*elemMin on hostile counts.
+func (r *byteReader) count32(elemMin int, what string) int {
+	n := r.u32(what + " count")
+	if r.err == nil && elemMin > 0 && n > r.remaining()/elemMin {
+		r.fail("%s count %d exceeds remaining %d bytes", what, n, r.remaining())
+		return 0
+	}
+	return n
+}
+
+func (r *byteReader) str(what string) string {
+	n := r.u16(what + " length")
+	b := r.take(n, what)
+	return string(b)
+}
+
+func (r *byteReader) strs(what string) []string {
+	// Minimum encoded string is its 2-byte length prefix.
+	n := r.count16(2, what)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.str(what))
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+func (r *byteReader) addrs(what string) []netip.Addr {
+	n := r.count16(4, what)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	out := make([]netip.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		b := r.take(4, what)
+		if b == nil {
+			return nil
+		}
+		out = append(out, netip.AddrFrom4([4]byte(b)))
+	}
+	return out
+}
+
+func (r *byteReader) days(what string) []simtime.Day {
+	n := r.count32(4, what)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]simtime.Day, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, simtime.Day(r.i32(what)))
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+func (r *byteReader) config(domain string) Config {
+	var c Config
+	c.Failed = r.u8(domain+" failed flag") == 1
+	c.NSHosts = r.strs(domain + " NS host")
+	c.NSAddrs = r.addrs(domain + " NS addr")
+	c.ApexAddrs = r.addrs(domain + " apex addr")
+	c.MXHosts = r.strs(domain + " MX host")
+	return c
+}
+
+// readFullN reads exactly n bytes without trusting n for the allocation:
+// small reads go to an exact-size buffer, large ones grow with the data
+// actually arriving, so a huge claimed length against a short input
+// fails with bounded memory.
+func readFullN(r io.Reader, n int) ([]byte, error) {
+	const direct = 1 << 16
+	if n <= direct {
+		b := make([]byte, n)
+		_, err := io.ReadFull(r, b)
+		return b, err
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// readSection reads one length-framed section and verifies its checksum.
+func readSection(r io.Reader, maxLen int, what string) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, corrupt("%s: reading section length: %v", what, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int64(n) > int64(maxLen) {
+		return nil, corrupt("%s: section length %d exceeds limit %d", what, n, maxLen)
+	}
+	payload, err := readFullN(r, int(n))
+	if err != nil {
+		return nil, corrupt("%s: reading %d-byte section: %v", what, n, err)
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(r, crcb[:]); err != nil {
+		return nil, corrupt("%s: reading checksum: %v", what, err)
+	}
+	if got, want := crc32.Checksum(payload, crcTable), binary.BigEndian.Uint32(crcb[:]); got != want {
+		return nil, corrupt("%s: checksum mismatch (%08x != %08x)", what, got, want)
+	}
+	return payload, nil
+}
+
+// Recovery reports what a tolerant decode salvaged from a damaged file.
+type Recovery struct {
+	// Version is the decoded format version.
+	Version int
+	// Domains is the number of complete domain records decoded;
+	// ExpectedDomains is what the header promised.
+	Domains, ExpectedDomains int
+	// GoodBytes is the length of the prefix that decoded cleanly.
+	GoodBytes int64
+	// Damaged is set when any part of the file could not be decoded;
+	// Reason describes the first damage encountered.
+	Damaged bool
+	Reason  string
+}
+
+// Read deserializes a store written by WriteTo (any format version). It
+// is strict: any truncation, checksum mismatch or implausible count
+// yields a "store: corrupt:" error.
+func Read(src io.Reader) (*Store, error) {
+	s, rec, err := decode(src, false)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Damaged {
+		// Unreachable in strict mode, kept as a backstop.
+		return nil, corrupt("%s", rec.Reason)
+	}
+	return s, nil
+}
+
+// ReadRecover is the truncation-tolerant decode: it returns every
+// complete, checksum-valid domain record from a torn or bit-flipped
+// file, plus a Recovery describing the damage. The error is non-nil
+// only when even the header is unreadable.
+func ReadRecover(src io.Reader) (*Store, *Recovery, error) {
+	return decode(src, true)
+}
+
+func decode(src io.Reader, tolerant bool) (*Store, *Recovery, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(src, hdr[:]); err != nil {
+		return nil, nil, corrupt("reading header: %v", err)
+	}
+	if got := string(hdr[:4]); got != magic {
+		return nil, nil, fmt.Errorf("store: bad magic %q", got)
+	}
+	v := binary.BigEndian.Uint16(hdr[4:])
+	switch v {
+	case 1, 2:
+		return decodeLegacy(src, int(v), tolerant)
+	case version:
+		return decodeV3(src, tolerant)
+	default:
+		return nil, nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+}
+
+// ascending validates that decoded day lists are sorted (the in-memory
+// invariant every consumer relies on).
+func ascending(days []simtime.Day) bool {
+	for i := 1; i < len(days); i++ {
+		if days[i] <= days[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func decodeV3(src io.Reader, tolerant bool) (*Store, *Recovery, error) {
+	rec := &Recovery{Version: version}
+	s := New()
+	off := int64(6) // header already consumed
+
+	damage := func(err error) (*Store, *Recovery, error) {
+		if !tolerant {
+			return nil, nil, err
+		}
+		rec.Damaged = true
+		rec.Reason = err.Error()
+		rec.GoodBytes = off
+		s.rebuildNaive()
+		return s, rec, nil
+	}
+
+	header := func(what string) ([]byte, error) {
+		payload, err := readSection(src, maxHeaderSectionBytes, what)
+		if err == nil {
+			off += int64(8 + len(payload))
+		}
+		return payload, err
+	}
+
+	decodeDays := func(what string) ([]simtime.Day, error) {
+		payload, err := header(what)
+		if err != nil {
+			return nil, err
+		}
+		r := &byteReader{b: payload}
+		days := r.days(what)
+		if r.err == nil && r.remaining() != 0 {
+			r.fail("%s: %d trailing bytes in section", what, r.remaining())
+		}
+		if r.err == nil && !ascending(days) {
+			r.fail("%s days not strictly ascending", what)
+		}
+		return days, r.err
+	}
+
+	var err error
+	if s.sweeps, err = decodeDays("sweeps"); err != nil {
+		return damage(err)
+	}
+	if s.missing, err = decodeDays("missing sweeps"); err != nil {
+		return damage(err)
+	}
+	countPayload, err := header("domain count")
+	if err != nil {
+		return damage(err)
+	}
+	if len(countPayload) != 4 {
+		return damage(corrupt("domain count section is %d bytes, want 4", len(countPayload)))
+	}
+	nDomains := int(binary.BigEndian.Uint32(countPayload))
+	rec.ExpectedDomains = nDomains
+
+	for i := 0; i < nDomains; i++ {
+		payload, err := readSection(src, maxDomainRecordBytes, fmt.Sprintf("domain %d/%d", i+1, nDomains))
+		if err != nil {
+			return damage(err)
+		}
+		name, ds, err := decodeDomainRecord(payload)
+		if err != nil {
+			return damage(err)
+		}
+		if _, dup := s.domains[name]; dup {
+			return damage(corrupt("duplicate domain record %q", name))
+		}
+		off += int64(8 + len(payload))
+		s.domains[name] = ds
+		rec.Domains++
+	}
+	rec.GoodBytes = off
+	s.rebuildNaive()
+	return s, rec, nil
+}
+
+// decodeDomainRecord parses one framed domain section payload.
+func decodeDomainRecord(payload []byte) (string, *domainSeries, error) {
+	r := &byteReader{b: payload}
+	name := r.str("domain name")
+	// Minimum epoch: from+lastSeen (8) + failed (1) + four empty counts (8).
+	nEpochs := r.count32(17, name+" epoch")
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	ds := &domainSeries{epochs: make([]epoch, 0, nEpochs)}
+	for j := 0; j < nEpochs && r.err == nil; j++ {
+		var e epoch
+		e.from = simtime.Day(r.i32(name + " epoch from"))
+		e.lastSeen = simtime.Day(r.i32(name + " epoch lastSeen"))
+		e.config = r.config(name)
+		ds.epochs = append(ds.epochs, e)
+	}
+	if r.err == nil && r.remaining() != 0 {
+		r.fail("%s: %d trailing bytes in domain record", name, r.remaining())
+	}
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	return name, ds, nil
+}
+
+// capHint bounds a pre-allocation by what the input could plausibly
+// hold: legacy (unframed) streams carry counts we cannot validate
+// against a payload length, so allocations grow with the data actually
+// read instead of trusting the field.
+func capHint(n, max int) int {
+	if n > max {
+		return max
+	}
+	return n
+}
+
+// decodeLegacy reads the unframed version 1/2 stream. Counts cannot be
+// checked against a section length here, so allocations are capped and
+// truncation surfaces as a read error at the point the data runs out.
+func decodeLegacy(src io.Reader, v int, tolerant bool) (*Store, *Recovery, error) {
+	rec := &Recovery{Version: v}
+	r := &reader{r: bufio.NewReader(src)}
+	s := New()
+	nSweeps := int(r.u32())
+	for i := 0; i < nSweeps && r.err == nil; i++ {
+		s.sweeps = append(s.sweeps, simtime.Day(r.i32()))
+	}
+	if r.err == nil && !ascending(s.sweeps) {
+		r.err = corrupt("sweep days not strictly ascending")
+	}
+	nDomains := int(r.u32())
+	rec.ExpectedDomains = nDomains
+	if r.err != nil {
+		if tolerant {
+			rec.Damaged = true
+			rec.Reason = r.err.Error()
+			return s, rec, nil
+		}
+		return nil, nil, r.err
+	}
+	for i := 0; i < nDomains; i++ {
+		name := r.str()
+		if _, dup := s.domains[name]; dup && r.err == nil {
+			r.err = corrupt("duplicate domain record %q", name)
+		}
+		nEpochs := int(r.u32())
+		ds := &domainSeries{epochs: make([]epoch, 0, capHint(nEpochs, 1024))}
+		for j := 0; j < nEpochs && r.err == nil; j++ {
+			var e epoch
+			e.from = simtime.Day(r.i32())
+			e.lastSeen = simtime.Day(r.i32())
+			flags := r.bytes(1)
+			if flags != nil {
+				e.config.Failed = flags[0] == 1
+			}
+			nHosts := int(r.u16())
+			for k := 0; k < nHosts && r.err == nil; k++ {
+				e.config.NSHosts = append(e.config.NSHosts, r.str())
+			}
+			e.config.NSAddrs = r.addrs()
+			e.config.ApexAddrs = r.addrs()
+			if v >= 2 {
+				nMX := int(r.u16())
+				for k := 0; k < nMX && r.err == nil; k++ {
+					e.config.MXHosts = append(e.config.MXHosts, r.str())
+				}
+			}
+			ds.epochs = append(ds.epochs, e)
+		}
+		if r.err != nil {
+			// Drop the partially-decoded domain: only complete records
+			// count as recovered.
+			if tolerant {
+				rec.Damaged = true
+				rec.Reason = r.err.Error()
+				s.rebuildNaive()
+				return s, rec, nil
+			}
+			return nil, nil, corrupt("decode: %v", r.err)
+		}
+		s.domains[name] = ds
+		rec.Domains++
+	}
+	s.rebuildNaive()
+	return s, rec, nil
+}
+
+// rebuildNaive reconstructs the naive (one-record-per-sweep) count from
+// the sweep schedule: each epoch spans the sweeps in [from, lastSeen].
+func (s *Store) rebuildNaive() {
+	s.naive = 0
+	for _, ds := range s.domains {
+		for _, e := range ds.epochs {
+			s.naive += int64(countSweepsIn(s.sweeps, e.from, e.lastSeen))
+		}
+	}
+}
+
+// reader is the legacy streaming decoder.
 type reader struct {
 	r   *bufio.Reader
 	err error
@@ -129,7 +685,7 @@ func (r *reader) bytes(n int) []byte {
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(r.r, b); err != nil {
-		r.err = err
+		r.err = corrupt("decode: %v", err)
 		return nil
 	}
 	return b
@@ -164,7 +720,7 @@ func (r *reader) addrs() []netip.Addr {
 	if n == 0 || r.err != nil {
 		return nil
 	}
-	out := make([]netip.Addr, 0, n)
+	out := make([]netip.Addr, 0, capHint(n, 256))
 	for i := 0; i < n; i++ {
 		b := r.bytes(4)
 		if b == nil {
@@ -183,61 +739,4 @@ func countSweepsIn(sweeps []simtime.Day, from, to simtime.Day) int {
 		return 0
 	}
 	return hi - lo
-}
-
-// Read deserializes a store written by WriteTo.
-func Read(src io.Reader) (*Store, error) {
-	r := &reader{r: bufio.NewReader(src)}
-	if got := string(r.bytes(4)); got != magic {
-		return nil, fmt.Errorf("store: bad magic %q", got)
-	}
-	v := r.u16()
-	if v != 1 && v != version {
-		return nil, fmt.Errorf("store: unsupported version %d", v)
-	}
-	s := New()
-	nSweeps := int(r.u32())
-	for i := 0; i < nSweeps && r.err == nil; i++ {
-		s.sweeps = append(s.sweeps, simtime.Day(r.i32()))
-	}
-	nDomains := int(r.u32())
-	for i := 0; i < nDomains && r.err == nil; i++ {
-		name := r.str()
-		nEpochs := int(r.u32())
-		ds := &domainSeries{epochs: make([]epoch, 0, nEpochs)}
-		for j := 0; j < nEpochs && r.err == nil; j++ {
-			var e epoch
-			e.from = simtime.Day(r.i32())
-			e.lastSeen = simtime.Day(r.i32())
-			flags := r.bytes(1)
-			if flags != nil {
-				e.config.Failed = flags[0] == 1
-			}
-			nHosts := int(r.u16())
-			for k := 0; k < nHosts && r.err == nil; k++ {
-				e.config.NSHosts = append(e.config.NSHosts, r.str())
-			}
-			e.config.NSAddrs = r.addrs()
-			e.config.ApexAddrs = r.addrs()
-			if v >= 2 {
-				nMX := int(r.u16())
-				for k := 0; k < nMX && r.err == nil; k++ {
-					e.config.MXHosts = append(e.config.MXHosts, r.str())
-				}
-			}
-			ds.epochs = append(ds.epochs, e)
-		}
-		s.domains[name] = ds
-	}
-	// Reconstruct the naive (one-record-per-sweep) count from the sweep
-	// schedule: each epoch spans the sweeps in [from, lastSeen].
-	for _, ds := range s.domains {
-		for _, e := range ds.epochs {
-			s.naive += int64(countSweepsIn(s.sweeps, e.from, e.lastSeen))
-		}
-	}
-	if r.err != nil {
-		return nil, fmt.Errorf("store: decode: %w", r.err)
-	}
-	return s, nil
 }

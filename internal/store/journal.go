@@ -1,0 +1,358 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"whereru/internal/simtime"
+)
+
+// The sweep journal is the collection pipeline's crash-safety mechanism:
+// an append-only file that gains one checksummed, length-framed segment
+// per completed sweep, fsynced before the pipeline moves on. A crashed
+// run resumes by replaying the journal's complete segments into a fresh
+// store and continuing the schedule from the first unswept day; a tail
+// torn by the crash fails its checksum (or its framing) and is dropped.
+//
+// File layout:
+//
+//	magic "WRJL" | version u16
+//	per segment: payloadLen u32 | payload | crc32c(payload) u32
+//	payload:
+//	  kind u8 (0 = sweep, 1 = missing day)
+//	  day i32
+//	  kind 0 only:
+//	    stats 6×u32 (domains, failed, nxdomain, retries, recovered,
+//	    unreachable)
+//	    measurementCount u32
+//	    per measurement: domain str | failed u8 | nsHosts | nsAddrs |
+//	      apexAddrs | mxHosts   (the codec's config layout)
+
+const (
+	journalMagic   = "WRJL"
+	journalVersion = 1
+	// maxJournalSegment bounds one segment; a sweep of every domain the
+	// full-scale world holds fits comfortably.
+	maxJournalSegment = 1 << 26
+
+	segSweep   = 0
+	segMissing = 1
+)
+
+// JournalStats carries one sweep's summary counters through the journal
+// (mirroring openintel.SweepStats, which the store cannot import).
+type JournalStats struct {
+	Domains, Failed, NXDomain, Retries, Recovered, Unreachable int
+}
+
+// JournalSweep is one journaled schedule day: either a completed sweep
+// with its measurements, or a missing-day marker (a scheduled day
+// deliberately or accidentally not collected).
+type JournalSweep struct {
+	Day     simtime.Day
+	Missing bool
+	Stats   JournalStats
+	// Measurements holds the sweep's observations, sorted by domain.
+	Measurements []Measurement
+}
+
+// JournalReplay is the result of scanning a journal: the replayable
+// records plus how much of the file was valid.
+type JournalReplay struct {
+	Sweeps []JournalSweep
+	// GoodBytes is the length of the valid prefix; TornBytes counts the
+	// trailing bytes after it that failed framing or checksum (0 for a
+	// clean file).
+	GoodBytes int64
+	TornBytes int64
+}
+
+// Torn reports whether the journal carried a damaged tail.
+func (r *JournalReplay) Torn() bool { return r.TornBytes > 0 }
+
+// Journal is an open sweep journal positioned for appending.
+type Journal struct {
+	f    *os.File
+	path string
+	// Sync flushes an appended segment to stable storage; it defaults to
+	// the file's fsync and exists as a hook for tests that count or fail
+	// durability points.
+	Sync func() error
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// CreateJournal creates (or truncates) a journal at path and writes its
+// header durably.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+	j := &Journal{f: f, path: path}
+	j.Sync = f.Sync
+	var hdr [6]byte
+	copy(hdr[:4], journalMagic)
+	binary.BigEndian.PutUint16(hdr[4:], journalVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: journal: writing header: %w", err)
+	}
+	if err := j.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: journal: syncing header: %w", err)
+	}
+	return j, nil
+}
+
+// OpenJournal opens the journal at path for resuming, creating it fresh
+// when absent. Every segment is length- and checksum-verified; a torn
+// tail is truncated away in place so subsequent appends extend a valid
+// file. The returned replay holds the surviving records (and TornBytes
+// when a tail was dropped — callers should log that).
+func OpenJournal(path string) (*Journal, *JournalReplay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: journal: %w", err)
+	}
+	j := &Journal{f: f, path: path}
+	j.Sync = f.Sync
+	if st.Size() == 0 {
+		// Fresh file: write the header as CreateJournal would.
+		var hdr [6]byte
+		copy(hdr[:4], journalMagic)
+		binary.BigEndian.PutUint16(hdr[4:], journalVersion)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: journal: writing header: %w", err)
+		}
+		if err := j.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: journal: syncing header: %w", err)
+		}
+		return j, &JournalReplay{GoodBytes: 6}, nil
+	}
+	replay, err := DecodeJournal(bufio.NewReader(f))
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if replay.Torn() {
+		if err := f.Truncate(replay.GoodBytes); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(replay.GoodBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: journal: %w", err)
+	}
+	return j, replay, nil
+}
+
+// AppendSweep encodes rec as one checksummed segment, appends it and
+// fsyncs, so the sweep is durable before the pipeline moves to the next
+// day. Measurements are normalized and sorted by domain first, making
+// the journal's bytes deterministic regardless of worker interleaving.
+func (j *Journal) AppendSweep(rec JournalSweep) error {
+	frame, err := encodeJournalSegment(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("store: journal: appending %s: %w", rec.Day, err)
+	}
+	if err := j.Sync(); err != nil {
+		return fmt.Errorf("store: journal: syncing %s: %w", rec.Day, err)
+	}
+	return nil
+}
+
+func encodeJournalSegment(rec JournalSweep) ([]byte, error) {
+	var e encoder
+	if rec.Missing {
+		e.u8(segMissing)
+		e.i32(int32(rec.Day))
+	} else {
+		e.u8(segSweep)
+		e.i32(int32(rec.Day))
+		for _, v := range []int{rec.Stats.Domains, rec.Stats.Failed, rec.Stats.NXDomain,
+			rec.Stats.Retries, rec.Stats.Recovered, rec.Stats.Unreachable} {
+			e.u32(v, "sweep stat")
+		}
+		ms := append([]Measurement(nil), rec.Measurements...)
+		sort.Slice(ms, func(i, k int) bool { return ms[i].Domain < ms[k].Domain })
+		e.u32(len(ms), "measurement count")
+		for _, m := range ms {
+			e.str(m.Domain, "measurement domain")
+			e.config(m.Config.Normalize(), m.Domain)
+		}
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	payload := e.buf.Bytes()
+	if len(payload) > maxJournalSegment {
+		return nil, fmt.Errorf("store: journal: segment for %s is %d bytes (limit %d)", rec.Day, len(payload), maxJournalSegment)
+	}
+	frame := make([]byte, 0, len(payload)+8)
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.BigEndian.AppendUint32(frame, crc32.Checksum(payload, crcTable))
+	return frame, nil
+}
+
+// DecodeJournal scans journal bytes from r: it validates the header,
+// then reads segments until the input ends or a segment fails framing
+// or checksum. Damage never yields an error — it ends the valid prefix,
+// and the remaining input is counted into TornBytes. The error is
+// non-nil only for an unreadable or mismatched header.
+func DecodeJournal(r io.Reader) (*JournalReplay, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, corrupt("journal: reading header: %v", err)
+	}
+	if got := string(hdr[:4]); got != journalMagic {
+		return nil, fmt.Errorf("store: journal: bad magic %q", got)
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:]); v != journalVersion {
+		return nil, fmt.Errorf("store: journal: unsupported version %d", v)
+	}
+	replay := &JournalReplay{GoodBytes: 6}
+	for {
+		frameLen, rec, err := readJournalSegment(r)
+		if err == io.EOF {
+			return replay, nil
+		}
+		if err != nil {
+			// Torn or corrupt from here on: everything already consumed
+			// for this segment plus whatever follows is unrecoverable.
+			rest, _ := io.Copy(io.Discard, r)
+			replay.TornBytes = frameLen + rest
+			return replay, nil
+		}
+		replay.Sweeps = append(replay.Sweeps, rec)
+		replay.GoodBytes += frameLen
+	}
+}
+
+// readJournalSegment reads one segment, returning the bytes it consumed
+// (even on failure, so the caller can account for them), the decoded
+// record, and io.EOF at a clean end of input.
+func readJournalSegment(r io.Reader) (int64, JournalSweep, error) {
+	var rec JournalSweep
+	var hdr [4]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err == io.EOF {
+		return 0, rec, io.EOF
+	}
+	if err != nil {
+		return int64(n), rec, corrupt("journal: torn segment length")
+	}
+	payloadLen := binary.BigEndian.Uint32(hdr[:])
+	if payloadLen > maxJournalSegment {
+		return int64(n), rec, corrupt("journal: segment length %d exceeds limit", payloadLen)
+	}
+	payload, err := readFullN(r, int(payloadLen))
+	if err != nil {
+		return int64(n + len(payload)), rec, corrupt("journal: torn segment payload")
+	}
+	var crcb [4]byte
+	cn, err := io.ReadFull(r, crcb[:])
+	consumed := int64(n) + int64(payloadLen) + int64(cn)
+	if err != nil {
+		return consumed, rec, corrupt("journal: torn segment checksum")
+	}
+	if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(crcb[:]) {
+		return consumed, rec, corrupt("journal: segment checksum mismatch")
+	}
+	rec, derr := decodeJournalPayload(payload)
+	if derr != nil {
+		return consumed, rec, derr
+	}
+	return consumed, rec, nil
+}
+
+func decodeJournalPayload(payload []byte) (JournalSweep, error) {
+	var rec JournalSweep
+	r := &byteReader{b: payload}
+	kind := r.u8("segment kind")
+	rec.Day = simtime.Day(r.i32("sweep day"))
+	switch kind {
+	case segMissing:
+		rec.Missing = true
+	case segSweep:
+		stats := []*int{&rec.Stats.Domains, &rec.Stats.Failed, &rec.Stats.NXDomain,
+			&rec.Stats.Retries, &rec.Stats.Recovered, &rec.Stats.Unreachable}
+		for _, p := range stats {
+			v := r.u32("sweep stat")
+			if v > math.MaxInt32 {
+				r.fail("sweep stat %d implausibly large", v)
+			}
+			*p = v
+		}
+		// Minimum measurement: name length (2) + failed (1) + 4 counts (8).
+		nMeas := r.count32(11, "measurement")
+		if r.err != nil {
+			return rec, r.err
+		}
+		rec.Measurements = make([]Measurement, 0, nMeas)
+		for i := 0; i < nMeas && r.err == nil; i++ {
+			var m Measurement
+			m.Domain = r.str("measurement domain")
+			m.Day = rec.Day
+			m.Config = r.config(m.Domain)
+			rec.Measurements = append(rec.Measurements, m)
+		}
+	default:
+		r.fail("journal: unknown segment kind %d", kind)
+	}
+	if r.err == nil && r.remaining() != 0 {
+		r.fail("journal: %d trailing bytes in segment", r.remaining())
+	}
+	if r.err != nil {
+		return rec, r.err
+	}
+	return rec, nil
+}
+
+// VerifyJournal scans the journal file at path without opening it for
+// appending: the workbench and fsck entry point.
+func VerifyJournal(path string) (*JournalReplay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, f); err != nil {
+		return nil, err
+	}
+	return DecodeJournal(&buf)
+}
+
+// RepairJournal truncates the journal at path to its valid prefix,
+// dropping a torn tail. It reports the replay after repair.
+func RepairJournal(path string) (*JournalReplay, error) {
+	j, replay, err := OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	return replay, j.Close()
+}

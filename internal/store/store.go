@@ -103,6 +103,9 @@ type Store struct {
 	mu      sync.RWMutex
 	domains map[string]*domainSeries
 	sweeps  []simtime.Day // sorted unique sweep days recorded
+	// missing holds scheduled-but-uncollected sweep days (sorted unique):
+	// collection outages the analyses must treat as gaps, not data.
+	missing []simtime.Day
 	// index is the cached sorted domain list; nil means dirty (a domain
 	// was added since the last build). Rebuilt lazily by sortedIndex.
 	index []string
@@ -124,6 +127,30 @@ func (s *Store) BeginSweep(day simtime.Day) {
 	if n := len(s.sweeps); n == 0 || s.sweeps[n-1] < day {
 		s.sweeps = append(s.sweeps, day)
 	}
+}
+
+// MarkMissingSweep records a scheduled sweep day on which no collection
+// happened (an outage or a deliberately dropped day). Missing days are
+// what make the analysis layer honest about gaps: series points on them
+// are carry-forward values, flagged Interpolated rather than presented
+// as fresh measurements.
+func (s *Store) MarkMissingSweep(day simtime.Day) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.missing), func(i int) bool { return s.missing[i] >= day })
+	if i < len(s.missing) && s.missing[i] == day {
+		return
+	}
+	s.missing = append(s.missing, 0)
+	copy(s.missing[i+1:], s.missing[i:])
+	s.missing[i] = day
+}
+
+// MissingSweeps returns the scheduled-but-uncollected sweep days.
+func (s *Store) MissingSweeps() []simtime.Day {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]simtime.Day(nil), s.missing...)
 }
 
 // Add records a measurement. Measurements for one domain must arrive in
