@@ -12,10 +12,12 @@
 //	rustore csv     FILE DOMAIN > out.csv
 //	rustore fsck    FILE [-repair]
 //
-// fsck verifies the per-section checksums of a store file ("WRST") or a
-// sweep journal ("WRJL"), reports what a torn or bit-flipped file still
-// holds, and with -repair truncates a journal's torn tail in place or
-// rewrites a store to its recoverable contents.
+// info describes either format — store ("WRST") or sweep journal
+// ("WRJL"): format version, domain count, sweep day range and missing
+// sweeps. fsck verifies the per-section checksums of either format,
+// reports what a torn or bit-flipped file still holds, and with -repair
+// truncates a journal's torn tail in place or rewrites a store to its
+// recoverable contents.
 package main
 
 import (
@@ -42,10 +44,15 @@ func run(args []string) error {
 		return fmt.Errorf("usage: rustore info|domains|history|csv|fsck FILE [args]")
 	}
 	cmd, path := args[0], args[1]
-	if cmd == "fsck" {
+	switch cmd {
+	case "fsck":
 		// fsck does its own file handling: it must read damaged files the
 		// strict decoder below would reject.
 		return fsck(path, len(args) > 2 && args[2] == "-repair")
+	case "info":
+		// info shares fsck's tolerant open path so it can describe both
+		// formats (store and journal) including damaged files.
+		return info(path)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -57,8 +64,6 @@ func run(args []string) error {
 		return err
 	}
 	switch cmd {
-	case "info":
-		return info(st)
 	case "domains":
 		prefix := ""
 		if len(args) > 2 {
@@ -173,17 +178,95 @@ func fsckJournal(path string, repair bool) error {
 	return nil
 }
 
-func info(st *store.Store) error {
-	stats := st.Stats()
-	sweeps := st.Sweeps()
-	fmt.Printf("domains:       %d\n", stats.Domains)
-	fmt.Printf("epochs:        %d\n", stats.Epochs)
-	fmt.Printf("naive records: %d (%.1fx compression)\n", stats.NaiveRecords,
-		float64(stats.NaiveRecords)/float64(max64(stats.Epochs, 1)))
-	if len(sweeps) > 0 {
-		fmt.Printf("sweeps:        %d (%s .. %s)\n", len(sweeps), sweeps[0], sweeps[len(sweeps)-1])
+// info describes a store or journal file: format version, day range,
+// domain count and missing sweeps. It opens via the same tolerant path
+// as fsck, so a damaged file still yields a description of its intact
+// prefix (plus a damage note).
+func info(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	var magic [4]byte
+	_, err = io.ReadFull(f, magic[:])
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("info: %s: too short to hold a header", path)
+	}
+	switch string(magic[:]) {
+	case "WRST":
+		return infoStore(path)
+	case "WRJL":
+		return infoJournal(path)
+	default:
+		return fmt.Errorf("info: %s: unrecognized magic %q", path, magic)
+	}
+}
+
+func infoStore(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	st, rec, err := store.ReadRecover(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("info: %s: %w", path, err)
+	}
+	fmt.Printf("%s: store format v%d\n", path, rec.Version)
+	describeStore(st)
+	if rec.Damaged {
+		fmt.Printf("  DAMAGED: %s (run fsck -repair)\n", rec.Reason)
 	}
 	return nil
+}
+
+func infoJournal(path string) error {
+	replay, err := store.VerifyJournal(path)
+	if err != nil {
+		return fmt.Errorf("info: %s: %w", path, err)
+	}
+	fmt.Printf("%s: sweep journal format v%d\n", path, replay.Version)
+	// Replay the journal's measurements into a fresh store so the same
+	// day-range/domain/missing summary applies to both formats.
+	st := store.New()
+	for _, rec := range replay.Sweeps {
+		if rec.Missing {
+			st.MarkMissingSweep(rec.Day)
+			continue
+		}
+		st.BeginSweep(rec.Day)
+		for _, m := range rec.Measurements {
+			st.Add(m)
+		}
+	}
+	describeStore(st)
+	if replay.Torn() {
+		fmt.Printf("  DAMAGED: %d torn trailing bytes (run fsck -repair)\n", replay.TornBytes)
+	}
+	return nil
+}
+
+func describeStore(st *store.Store) {
+	stats := st.Stats()
+	sweeps := st.Sweeps()
+	fmt.Printf("  domains:       %d\n", stats.Domains)
+	fmt.Printf("  epochs:        %d\n", stats.Epochs)
+	fmt.Printf("  naive records: %d (%.1fx compression)\n", stats.NaiveRecords,
+		float64(stats.NaiveRecords)/float64(max64(stats.Epochs, 1)))
+	if len(sweeps) > 0 {
+		fmt.Printf("  sweeps:        %d (%s .. %s)\n", len(sweeps), sweeps[0], sweeps[len(sweeps)-1])
+	}
+	if missing := st.MissingSweeps(); len(missing) > 0 {
+		fmt.Printf("  missing:       %d sweeps (", len(missing))
+		for i, d := range missing {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Print(d)
+		}
+		fmt.Println(")")
+	}
 }
 
 func max64(a, b int64) int64 {

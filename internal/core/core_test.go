@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -62,7 +63,10 @@ func TestRenderAllProducesEveryExperiment(t *testing.T) {
 
 func TestComparisonsCoverAllExperiments(t *testing.T) {
 	s := tinyStudy(t)
-	comps := s.Comparisons()
+	comps, err := s.Comparisons()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(comps) < 30 {
 		t.Fatalf("only %d comparison rows", len(comps))
 	}
@@ -125,6 +129,52 @@ func TestDefaultsApplied(t *testing.T) {
 	}
 	if _, err := New(Options{World: world.Config{Scale: 0}}); err == nil {
 		t.Error("invalid config accepted")
+	}
+}
+
+func TestEmptyStudyReturnsErrNoSweeps(t *testing.T) {
+	s, err := New(Options{World: world.Config{Seed: 5, Scale: 20000, RFShare: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Collect: the store holds zero sweeps. The entry points must
+	// fail cleanly instead of panicking on an empty series.
+	if _, err := s.Comparisons(); !errors.Is(err, ErrNoSweeps) {
+		t.Fatalf("Comparisons on empty study: err = %v, want ErrNoSweeps", err)
+	}
+	if err := s.RenderAll(io.Discard); !errors.Is(err, ErrNoSweeps) {
+		t.Fatalf("RenderAll on empty study: err = %v, want ErrNoSweeps", err)
+	}
+	if err := s.ExperimentsMarkdown(io.Discard); !errors.Is(err, ErrNoSweeps) {
+		t.Fatalf("ExperimentsMarkdown on empty study: err = %v, want ErrNoSweeps", err)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	s := tinyStudy(t)
+	var blob bytes.Buffer
+	if err := s.SaveStore(&blob); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(s.Opts, &blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Store.NumDomains(), s.Store.NumDomains(); got != want {
+		t.Fatalf("loaded domains = %d, want %d", got, want)
+	}
+	if got, want := len(loaded.Sweeps), len(s.Sweeps); got != want {
+		t.Fatalf("loaded sweeps = %d, want %d", got, want)
+	}
+	// The DNS-derived series must be identical to the originating study's.
+	want, got := s.Fig1(), loaded.Fig1()
+	if len(want) != len(got) {
+		t.Fatalf("Fig1 lengths differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("Fig1[%d] = %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }
 

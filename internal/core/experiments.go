@@ -72,11 +72,21 @@ func (s *Study) Fig3() []analysis.TLDSharePoint {
 	return s.Analyzer.TLDShareSeries(s.keyDays(), nil)
 }
 
-// fig4ASNs is the set of networks Figure 4 plots.
-var fig4ASNs = []struct {
+// ProviderSpec names one of the hosting networks Figure 4 plots.
+type ProviderSpec struct {
 	ASN  netsim.ASN
 	Name string
-}{
+}
+
+// Fig4Providers returns the networks Figure 4 plots, in plot order. The
+// text chart and the serve layer's JSON share this list, so the two
+// renderings of the figure label the same series.
+func Fig4Providers() []ProviderSpec {
+	return append([]ProviderSpec(nil), fig4ASNs...)
+}
+
+// fig4ASNs is the set of networks Figure 4 plots.
+var fig4ASNs = []ProviderSpec{
 	{16509, "Amazon (US)"},
 	{47846, "Sedo (DE)"},
 	{13335, "Cloudflare (US)"},
@@ -180,13 +190,23 @@ func compositionChart(title string, series []analysis.Point) *report.Chart {
 	}
 }
 
-func firstLast[T any](s []T) (T, T) { return s[0], s[len(s)-1] }
+// ErrNoSweeps is returned by the figure-and-table entry points when the
+// study's store holds no sweeps: nothing was collected, loaded or
+// resumed, so there is no series to index into.
+var ErrNoSweeps = fmt.Errorf("core: study has no sweeps (run Collect, or load a store or checkpoint first)")
+
+func firstLast[T any](s []T) (first, last T) {
+	if len(s) == 0 {
+		return
+	}
+	return s[0], s[len(s)-1]
+}
 
 // at returns the series point measured at (or carried into) day.
 func at(series []analysis.Point, day simtime.Day) analysis.Point {
-	best := series[0]
-	for _, p := range series {
-		if p.Day <= day {
+	var best analysis.Point
+	for i, p := range series {
+		if i == 0 || p.Day <= day {
 			best = p
 		}
 	}
@@ -194,9 +214,9 @@ func at(series []analysis.Point, day simtime.Day) analysis.Point {
 }
 
 func atASN(series []analysis.ASNSharePoint, day simtime.Day) analysis.ASNSharePoint {
-	best := series[0]
-	for _, p := range series {
-		if p.Day <= day {
+	var best analysis.ASNSharePoint
+	for i, p := range series {
+		if i == 0 || p.Day <= day {
 			best = p
 		}
 	}
@@ -204,8 +224,11 @@ func atASN(series []analysis.ASNSharePoint, day simtime.Day) analysis.ASNSharePo
 }
 
 // Comparisons computes the paper-vs-measured experiment index across all
-// figures and tables. Collect must have run.
-func (s *Study) Comparisons() []Comparison {
+// figures and tables. It fails with ErrNoSweeps when the store is empty.
+func (s *Study) Comparisons() ([]Comparison, error) {
+	if len(s.keyDays()) == 0 {
+		return nil, ErrNoSweeps
+	}
 	var out []Comparison
 	add := func(exp, metric, paper string, measured string) {
 		out = append(out, Comparison{Experiment: exp, Metric: metric, Paper: paper, Measured: measured})
@@ -252,19 +275,21 @@ func (s *Study) Comparisons() []Comparison {
 	add("Fig 3", "rank order on 2022-05-25", "ru > com > pro > org > net",
 		fmt.Sprintf("%v", analysis.TopTLDs(fig3, 5)))
 
-	// Figure 4.
-	fig4 := s.Fig4()
-	preConflict := atASN(fig4, simtime.ConflictStart.Add(-1))
-	f4End := fig4[len(fig4)-1]
-	big4 := func(p analysis.ASNSharePoint) float64 {
-		return p.Share(197695) + p.Share(48287) + p.Share(9123) + p.Share(198610)
+	// Figure 4. The 2022 dense window can be empty when a short study
+	// window ends before it; skip the rows rather than index into nothing.
+	if fig4 := s.Fig4(); len(fig4) > 0 {
+		preConflict := atASN(fig4, simtime.ConflictStart.Add(-1))
+		f4End := fig4[len(fig4)-1]
+		big4 := func(p analysis.ASNSharePoint) float64 {
+			return p.Share(197695) + p.Share(48287) + p.Share(9123) + p.Share(198610)
+		}
+		add("Fig 4", "RU big-four share (start→end of 2022 window)", "38% → 39%",
+			fmt.Sprintf("%.1f%% → %.1f%%", big4(preConflict), big4(f4End)))
+		add("Fig 4", "Cloudflare share (stable)", "≈7%",
+			fmt.Sprintf("%.1f%% → %.1f%%", preConflict.Share(13335), f4End.Share(13335)))
+		add("Fig 4", "Sedo share Mar 8 → May 25", "3.1% → ≈0.05%",
+			fmt.Sprintf("%.2f%% → %.2f%%", atASN(fig4, world.AmazonStmtDay).Share(47846), f4End.Share(47846)))
 	}
-	add("Fig 4", "RU big-four share (start→end of 2022 window)", "38% → 39%",
-		fmt.Sprintf("%.1f%% → %.1f%%", big4(preConflict), big4(f4End)))
-	add("Fig 4", "Cloudflare share (stable)", "≈7%",
-		fmt.Sprintf("%.1f%% → %.1f%%", preConflict.Share(13335), f4End.Share(13335)))
-	add("Fig 4", "Sedo share Mar 8 → May 25", "3.1% → ≈0.05%",
-		fmt.Sprintf("%.2f%% → %.2f%%", atASN(fig4, world.AmazonStmtDay).Share(47846), f4End.Share(47846)))
 
 	// Figure 5 / §3.3.
 	fig5 := s.Fig5()
@@ -354,7 +379,7 @@ func (s *Study) Comparisons() []Comparison {
 	add("§4.3", "Russian CA certs in CT logs", "0 (does not log)", fmt.Sprintf("%d", len(s.World.CTLog.Scan(0, s.World.CTLog.Size(), func(c *pki.Certificate) bool {
 		return c.RootOrg == pki.RussianTrustedRootCA
 	}))))
-	return out
+	return out, nil
 }
 
 func topOrgs(p analysis.PeriodIssuance, k int) string {
@@ -365,8 +390,12 @@ func topOrgs(p analysis.PeriodIssuance, k int) string {
 	return fmt.Sprintf("%v", names)
 }
 
-// RenderAll writes every figure and table, with charts, to w.
+// RenderAll writes every figure and table, with charts, to w. It fails
+// with ErrNoSweeps when the store is empty.
 func (s *Study) RenderAll(w io.Writer) error {
+	if len(s.keyDays()) == 0 {
+		return ErrNoSweeps
+	}
 	scale := s.Scale()
 	fmt.Fprintf(w, "Where .ru? — reproduction report (scale 1:%d, %d domains, %d sweeps)\n\n",
 		scale, s.World.NumDomains(), len(s.Sweeps))
@@ -620,10 +649,14 @@ func (s *Study) RenderAll(w io.Writer) error {
 		Title:   "Paper vs measured (experiment index)",
 		Headers: []string{"experiment", "metric", "paper", "measured"},
 	}
-	for _, c := range s.Comparisons() {
+	comps, err := s.Comparisons()
+	if err != nil {
+		return err
+	}
+	for _, c := range comps {
 		idx.AddRow(c.Experiment, c.Metric, c.Paper, c.Measured)
 	}
-	_, err := idx.WriteTo(w)
+	_, err = idx.WriteTo(w)
 	return err
 }
 
@@ -641,8 +674,12 @@ func (s *Study) ExperimentsMarkdown(w io.Writer) error {
 	fmt.Fprintf(w, "change, where steps fall — not its absolute testbed counts; see\n")
 	fmt.Fprintf(w, "DESIGN.md §1 for the substitution rationale and deviations.\n\n")
 
+	comps, err := s.Comparisons()
+	if err != nil {
+		return err
+	}
 	group := ""
-	for _, c := range s.Comparisons() {
+	for _, c := range comps {
 		if c.Experiment != group {
 			group = c.Experiment
 			fmt.Fprintf(w, "\n## %s\n\n", group)

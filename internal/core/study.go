@@ -143,6 +143,59 @@ func New(opts Options) (*Study, error) {
 	}, nil
 }
 
+// LoadStore builds the world for opts and adopts a previously saved
+// measurement store (written by SaveStore / `whereru -store`) in place
+// of running Collect. The world must be built with the same seed and
+// scale that produced the store: the geolocation, routing and registry
+// context the analyses consult is regenerated from opts, while the DNS
+// measurements come from the file. The TLS scan archive is not part of
+// the store format, so the §4.3 scan report stays empty on a loaded
+// study; every DNS-derived figure and table is available.
+func LoadStore(opts Options, src io.Reader) (*Study, error) {
+	s, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.Read(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading store: %w", err)
+	}
+	s.adoptStore(st)
+	return s, nil
+}
+
+// LoadCheckpoint builds the world for opts and replays a sweep journal
+// (written by `whereru -checkpoint`) into the study's store, without
+// collecting further. A torn tail is tolerated exactly as Resume
+// tolerates it: the intact prefix replays, the damage is reported via
+// Progress. The journal file itself is not modified.
+func LoadCheckpoint(opts Options, path string) (*Study, error) {
+	s, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	replay, err := store.VerifyJournal(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading checkpoint: %w", err)
+	}
+	if replay.Torn() {
+		s.Opts.Progress("warning: checkpoint has a torn tail (%d bytes ignored)", replay.TornBytes)
+	}
+	pipe := &openintel.Pipeline{Store: s.Store}
+	s.Stats = pipe.ReplayJournal(replay)
+	s.Sweeps = s.Store.Sweeps()
+	s.Opts.Progress("loaded %d journaled sweeps from %s", len(replay.Sweeps), path)
+	return s, nil
+}
+
+// adoptStore swaps in st as the study's measurement database, pointing
+// the analysis engine at it and deriving the sweep list from it.
+func (s *Study) adoptStore(st *store.Store) {
+	s.Store = st
+	s.Analyzer.Store = st
+	s.Sweeps = st.Sweeps()
+}
+
 // Collect runs the full measurement campaign: DNS sweeps over the study
 // window (monthly, then dense for 2022) and weekly TLS scans over the
 // Russian-CA window. With CheckpointPath set each completed sweep is

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// The cold/warm pair quantifies what the result cache buys: cold runs
+// the full analysis engine plus JSON rendering per request, warm is a
+// map lookup and a body copy. The recorded numbers live in BENCH_4.json.
+
+func benchRequest(b *testing.B, srv *Server, path string) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("GET %s = %d: %.200s", path, rec.Code, rec.Body.String())
+	}
+}
+
+func BenchmarkServeFig1Cold(b *testing.B) {
+	srv := New(testStudy(b), Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.cache.purge()
+		benchRequest(b, srv, "/api/v1/figures/1")
+	}
+}
+
+func BenchmarkServeFig1Warm(b *testing.B) {
+	srv := New(testStudy(b), Options{})
+	benchRequest(b, srv, "/api/v1/figures/1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, srv, "/api/v1/figures/1")
+	}
+}
+
+func BenchmarkServeTimelineWarm(b *testing.B) {
+	srv := New(testStudy(b), Options{})
+	doms := srv.study.Store.Domains()
+	path := "/api/v1/domains/" + doms[len(doms)/2] + "/timeline"
+	benchRequest(b, srv, path)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, srv, path)
+	}
+}

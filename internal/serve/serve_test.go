@@ -1,0 +1,483 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"whereru/internal/analysis"
+	"whereru/internal/core"
+	"whereru/internal/simtime"
+	"whereru/internal/world"
+)
+
+// The serve tests share one collected study: collection dominates the
+// package's runtime, and every test only reads from it (the ETag
+// invalidation test appends, which is the mutation the cache is built
+// for).
+var (
+	studyOnce   sync.Once
+	sharedStudy *core.Study
+	studyErr    error
+)
+
+func testStudy(tb testing.TB) *core.Study {
+	tb.Helper()
+	studyOnce.Do(func() {
+		opts := core.Options{
+			World:     world.Config{Seed: 5, Scale: 20000, RFShare: 0.1},
+			DenseStep: 7,
+			CollectMX: true,
+		}
+		var s *core.Study
+		s, studyErr = core.New(opts)
+		if studyErr != nil {
+			return
+		}
+		if studyErr = s.Collect(context.Background()); studyErr == nil {
+			sharedStudy = s
+		}
+	})
+	if studyErr != nil {
+		tb.Fatalf("building shared study: %v", studyErr)
+	}
+	return sharedStudy
+}
+
+func newTestServer(tb testing.TB, opts Options) (*Server, *httptest.Server) {
+	tb.Helper()
+	srv := New(testStudy(tb), opts)
+	ts := httptest.NewServer(srv)
+	tb.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(tb testing.TB, url string) (*http.Response, []byte) {
+	tb.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		tb.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		tb.Fatalf("reading %s: %v", url, err)
+	}
+	return resp, body
+}
+
+// marshalDoc renders a document exactly as the server does.
+func marshalDoc(tb testing.TB, doc any) []byte {
+	tb.Helper()
+	b, err := json.Marshal(doc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// TestEndpointsGolden compares every JSON endpoint's bytes against the
+// renderer output built directly from the study — the server must be a
+// pure serialization of the analysis layer, nothing added, nothing lost.
+func TestEndpointsGolden(t *testing.T) {
+	st := testStudy(t)
+	_, ts := newTestServer(t, Options{})
+	gen := st.Store.Generation()
+
+	fig4Labels := func() []asnLabel {
+		var out []asnLabel
+		for _, p := range core.Fig4Providers() {
+			out = append(out, asnLabel{ASN: p.ASN, Name: p.Name})
+		}
+		return out
+	}
+	fig3 := st.Fig3()
+	fig3Top := analysis.TopTLDs(fig3, 5)
+	dense := simtime.Date(2022, 2, 1)
+
+	cases := []struct {
+		path string
+		doc  any
+	}{
+		{"/api/v1/figures/1", compositionDoc{
+			Figure: 1, Title: "NS-infrastructure composition of .ru/.рф",
+			Generation: gen, MissingDays: st.Store.MissingSweeps(),
+			Series: renderComposition(st.Fig1()),
+		}},
+		{"/api/v1/figures/2", compositionDoc{
+			Figure: 2, Title: "TLD dependency of .ru/.рф name servers",
+			Generation: gen, MissingDays: st.Store.MissingSweeps(),
+			Series: renderComposition(st.Fig2()),
+		}},
+		{"/api/v1/figures/3", tldShareDoc{
+			Figure: 3, Title: "Name-server TLD shares",
+			Generation: gen, TopTLDs: fig3Top,
+			MissingDays: st.Store.MissingSweeps(),
+			Series:      renderTLDShares(fig3, fig3Top),
+		}},
+		{"/api/v1/figures/4", asnShareDoc{
+			Figure: 4, Title: "Hosting ASN shares (2022 dense window)",
+			Generation: gen, Plotted: fig4Labels(),
+			MissingDays: missingIn(st.Store.MissingSweeps(), dense),
+			Series:      renderASNShares(st.Fig4()),
+		}},
+		{"/api/v1/figures/5", compositionDoc{
+			Figure: 5, Title: "Sanctioned-domain NS composition (2022 dense window)",
+			Generation:  gen,
+			MissingDays: missingIn(st.Store.MissingSweeps(), dense),
+			Series:      renderComposition(st.Fig5()),
+		}},
+		{"/api/v1/figures/8", caTimelineDoc{
+			Figure: 8, Title: "Top-10 CA issuance timelines",
+			Generation: gen,
+			WindowFrom: world.RussianCAStartDay, WindowTo: simtime.CTWindowEnd,
+			Timelines: renderTimelines(st.Fig8()),
+		}},
+		{"/api/v1/tables/1", table1Doc{
+			Table: 1, Title: "Certificate issuance by period",
+			Generation: gen, Scale: st.Scale(),
+			Rows: renderTable1(st.Table1(), st.Scale()),
+		}},
+		{"/api/v1/tables/2", table2Doc{
+			Table: 2, Title: "Revocations by top-5 revoking CAs",
+			Generation: gen,
+			Rows:       renderTable2(st.Table2()),
+		}},
+		{"/api/v1/hosting", compositionDoc{
+			Endpoint: "hosting", Title: "Hosting composition (§3.1)",
+			Generation: gen, MissingDays: st.Store.MissingSweeps(),
+			Series: renderComposition(st.Hosting()),
+		}},
+		{"/api/v1/movement?asn=197695&from=2022-02-24", renderMovement(
+			st.Movement(197695, simtime.ConflictStart), gen)},
+		{"/api/v1/study", renderStudy(st, gen)},
+	}
+	for _, c := range cases {
+		t.Run(c.path, func(t *testing.T) {
+			want := marshalDoc(t, c.doc)
+			resp, body := get(t, ts.URL+c.path)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d, body: %s", resp.StatusCode, body)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Errorf("Content-Type = %q", ct)
+			}
+			if resp.Header.Get("ETag") == "" {
+				t.Error("no ETag")
+			}
+			if string(body) != string(want) {
+				t.Errorf("server bytes differ from renderer output\nserver: %.200s\nwant:   %.200s", body, want)
+			}
+			// Byte-identical on repeat: the cached body is served verbatim.
+			_, again := get(t, ts.URL+c.path)
+			if string(again) != string(body) {
+				t.Error("repeated request returned different bytes")
+			}
+		})
+	}
+}
+
+// TestTimelineEndpoint exercises the per-domain point lookup: a known
+// domain yields its epoch timeline, an unknown one a 404.
+func TestTimelineEndpoint(t *testing.T) {
+	st := testStudy(t)
+	_, ts := newTestServer(t, Options{})
+	doms := st.Store.Domains()
+	if len(doms) == 0 {
+		t.Fatal("study has no domains")
+	}
+	name := doms[len(doms)/2]
+	resp, body := get(t, ts.URL+"/api/v1/domains/"+strings.TrimSuffix(name, ".")+"/timeline")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", resp.StatusCode, body)
+	}
+	var doc timelineDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Domain != name {
+		t.Errorf("domain = %q, want %q (canonicalized)", doc.Domain, name)
+	}
+	if len(doc.Epochs) == 0 {
+		t.Fatal("no epochs")
+	}
+	if doc.FirstSeen > doc.LastSeen {
+		t.Errorf("first_seen %s after last_seen %s", doc.FirstSeen, doc.LastSeen)
+	}
+	total := 0
+	for i, ep := range doc.Epochs {
+		if ep.From > ep.To {
+			t.Errorf("epoch %d: from %s after to %s", i, ep.From, ep.To)
+		}
+		if ep.SweepsCovered <= 0 {
+			t.Errorf("epoch %d: covered %d sweeps", i, ep.SweepsCovered)
+		}
+		total += ep.SweepsCovered
+	}
+	if sweeps := len(st.Store.Sweeps()); total > sweeps {
+		t.Errorf("epochs cover %d sweeps, study has %d", total, sweeps)
+	}
+
+	resp, _ = get(t, ts.URL+"/api/v1/domains/no-such-domain.example/timeline")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown domain: status = %d, want 404", resp.StatusCode)
+	}
+	// The 404 must not poison the cache: a real domain still resolves.
+	resp, _ = get(t, ts.URL+"/api/v1/domains/"+name+"/timeline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("known domain after 404: status = %d", resp.StatusCode)
+	}
+}
+
+// TestRequestValidation covers the 4xx surface: bad figure/table numbers
+// and malformed movement parameters.
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/api/v1/figures/6", http.StatusNotFound},
+		{"/api/v1/figures/x", http.StatusNotFound},
+		{"/api/v1/tables/3", http.StatusNotFound},
+		{"/api/v1/movement", http.StatusBadRequest},
+		{"/api/v1/movement?asn=197695", http.StatusBadRequest},
+		{"/api/v1/movement?asn=abc&from=2022-02-24", http.StatusBadRequest},
+		{"/api/v1/movement?asn=197695&from=yesterday", http.StatusBadRequest},
+		{"/api/v1/nope", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		resp, body := get(t, ts.URL+c.path)
+		if resp.StatusCode != c.want {
+			t.Errorf("GET %s = %d, want %d (body: %.100s)", c.path, resp.StatusCode, c.want, body)
+		}
+	}
+}
+
+// TestCoalescing issues N concurrent cold requests for the same figure
+// and asserts the engine computed exactly once — the singleflight
+// guarantee the cache makes.
+func TestCoalescing(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	const n = 16
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := get(t, ts.URL+"/api/v1/figures/1")
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	if got := srv.met.computationCount(); got != 1 {
+		t.Errorf("%d concurrent cold requests ran %d computations, want exactly 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("request %d returned different bytes", i)
+		}
+	}
+}
+
+// TestETagRoundTrip drives the conditional-request protocol: a cached
+// ETag turns into 304, a store mutation (generation bump) invalidates it
+// back to 200 with fresh bytes.
+func TestETagRoundTrip(t *testing.T) {
+	st := testStudy(t)
+	_, ts := newTestServer(t, Options{})
+	url := ts.URL + "/api/v1/figures/2"
+
+	resp, body := get(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold: status %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("ETag = %q, want a strong quoted tag", etag)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional: status %d, want 304", resp2.StatusCode)
+	}
+	if len(b2) != 0 {
+		t.Errorf("304 carried a %d-byte body", len(b2))
+	}
+	if resp2.Header.Get("ETag") != etag {
+		t.Errorf("304 ETag = %q, want %q", resp2.Header.Get("ETag"), etag)
+	}
+
+	// Mutate the store: the generation bumps, the cache key moves on, and
+	// the same conditional request must now see fresh content.
+	genBefore := st.Store.Generation()
+	st.Store.MarkMissingSweep(simtime.StudyEnd.Add(7))
+	if st.Store.Generation() == genBefore {
+		t.Fatal("MarkMissingSweep did not bump the generation")
+	}
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("post-mutation conditional: status %d, want 200", resp3.StatusCode)
+	}
+	if resp3.Header.Get("ETag") == etag {
+		t.Error("ETag unchanged after store mutation")
+	}
+	if string(b3) == string(body) {
+		t.Error("body unchanged after store mutation")
+	}
+}
+
+// TestSaturation pins the backpressure contract: with one computation
+// slot held by a deliberately stalled leader, a second cold request is
+// rejected immediately with 503 + Retry-After, and the slot's eventual
+// release lets traffic through again.
+func TestSaturation(t *testing.T) {
+	// The gate is installed before the listener starts and never changed
+	// after, so handler goroutines only ever read it.
+	srv := New(testStudy(t), Options{MaxConcurrent: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.computeGate = func(endpoint string) {
+		if endpoint == "figures" {
+			close(entered)
+			<-release
+		}
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	type result struct {
+		code int
+		body string
+	}
+	leader := make(chan result, 1)
+	go func() {
+		resp, body := get(t, ts.URL+"/api/v1/figures/1")
+		leader <- result{resp.StatusCode, string(body)}
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("leader never reached the compute gate")
+	}
+
+	resp, _ := get(t, ts.URL+"/api/v1/hosting")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated request: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 without Retry-After")
+	}
+	srv.met.mu.Lock()
+	saturations := srv.met.saturations
+	srv.met.mu.Unlock()
+	if saturations == 0 {
+		t.Error("saturation not counted")
+	}
+
+	close(release)
+	if r := <-leader; r.code != http.StatusOK {
+		t.Fatalf("stalled leader finished with %d: %.200s", r.code, r.body)
+	}
+	// The rejected request was not cached as an error: it now succeeds.
+	resp, _ = get(t, ts.URL+"/api/v1/hosting")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-saturation retry: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHealthzAndMetrics smoke-tests the operational endpoints.
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "ok ") {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	get(t, ts.URL+"/api/v1/figures/1")
+	get(t, ts.URL+"/api/v1/figures/1")
+
+	resp, body = get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, line := range []string{
+		`whereru_requests_total{endpoint="figures",code="200"}`,
+		`whereru_request_duration_seconds_bucket{le="+Inf"}`,
+		"whereru_computations_total",
+		"whereru_cache_hits_total",
+		"whereru_inflight_requests",
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("metrics output missing %q", line)
+		}
+	}
+	// Two identical requests: the second must have been a cache hit.
+	if !strings.Contains(text, "whereru_cache_hits_total 1") {
+		t.Errorf("expected exactly one cache hit, metrics:\n%s", text)
+	}
+}
+
+// TestCacheEviction verifies the cache honors its capacity and drops
+// old-generation entries.
+func TestCacheEviction(t *testing.T) {
+	c := newResultCache(2)
+	finish := func(e *entry, body string) {
+		e.body = []byte(body)
+		close(e.ready)
+	}
+	k1 := cacheKey{"a", "", 1}
+	e1, lead := c.lookup(k1)
+	if !lead {
+		t.Fatal("first lookup not leader")
+	}
+	finish(e1, "one")
+	if e, lead := c.lookup(k1); lead || string(e.body) != "one" {
+		t.Fatal("second lookup recomputed")
+	}
+
+	// A newer generation evicts the old entry on insert.
+	e2, _ := c.lookup(cacheKey{"a", "", 2})
+	finish(e2, "two")
+	if _, lead := c.lookup(k1); !lead {
+		t.Error("old-generation entry survived a newer insert")
+	}
+	if c.len() > 2 {
+		t.Errorf("cache over capacity: %d", c.len())
+	}
+
+	// Errors are removed, so the next lookup leads again.
+	k3 := cacheKey{"b", "", 2}
+	e3, _ := c.lookup(k3)
+	e3.err = fmt.Errorf("boom")
+	c.remove(k3, e3)
+	close(e3.ready)
+	if _, lead := c.lookup(k3); !lead {
+		t.Error("failed entry stayed cached")
+	}
+}

@@ -96,6 +96,23 @@ func Parse(s string) (Day, error) {
 	return Date(y, m, d), nil
 }
 
+// MarshalText renders d in ISO-8601 form. Implementing
+// encoding.TextMarshaler (rather than json.Marshaler) makes Day encode
+// as "2022-02-24" both as a JSON value and as a JSON map key, so every
+// serialization of day-keyed data is human-readable and sorts
+// chronologically.
+func (d Day) MarshalText() ([]byte, error) { return []byte(d.String()), nil }
+
+// UnmarshalText parses an ISO-8601 date, the inverse of MarshalText.
+func (d *Day) UnmarshalText(b []byte) error {
+	parsed, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*d = parsed
+	return nil
+}
+
 // MustParse is Parse for constants in tests and tables; it panics on error.
 func MustParse(s string) Day {
 	d, err := Parse(s)

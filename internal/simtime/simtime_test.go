@@ -1,6 +1,7 @@
 package simtime
 
 import (
+	"encoding/json"
 	"testing"
 	"testing/quick"
 	"time"
@@ -194,5 +195,45 @@ func TestWindow(t *testing.T) {
 	inv := Window{From: 10, To: 5}
 	if inv.Contains(7) || inv.Len() != 0 {
 		t.Errorf("inverted window: Contains=%v Len=%d", inv.Contains(7), inv.Len())
+	}
+}
+
+func TestDayTextMarshalRoundTrip(t *testing.T) {
+	var buf []byte
+	var err error
+	day := Date(2022, 2, 24)
+	if buf, err = day.MarshalText(); err != nil || string(buf) != "2022-02-24" {
+		t.Fatalf("MarshalText = %q, %v", buf, err)
+	}
+	var back Day
+	if err := back.UnmarshalText(buf); err != nil || back != day {
+		t.Fatalf("UnmarshalText(%q) = %v, %v", buf, back, err)
+	}
+	if err := back.UnmarshalText([]byte("not-a-date")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDayJSONEncoding(t *testing.T) {
+	// Day must encode as an ISO date both as a JSON value and as a JSON
+	// map key (the serve layer relies on both).
+	type wrapper struct {
+		Day   Day         `json:"day"`
+		ByDay map[Day]int `json:"by_day"`
+	}
+	b, err := json.Marshal(wrapper{Day: Date(2022, 5, 25), ByDay: map[Day]int{Date(2022, 1, 2): 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"day":"2022-05-25","by_day":{"2022-01-02":7}}`
+	if string(b) != want {
+		t.Fatalf("json = %s, want %s", b, want)
+	}
+	var w wrapper
+	if err := json.Unmarshal(b, &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Day != Date(2022, 5, 25) || w.ByDay[Date(2022, 1, 2)] != 7 {
+		t.Fatalf("round trip = %+v", w)
 	}
 }

@@ -66,7 +66,9 @@ type JournalSweep struct {
 // JournalReplay is the result of scanning a journal: the replayable
 // records plus how much of the file was valid.
 type JournalReplay struct {
-	Sweeps []JournalSweep
+	// Version is the decoded journal format version.
+	Version int
+	Sweeps  []JournalSweep
 	// GoodBytes is the length of the valid prefix; TornBytes counts the
 	// trailing bytes after it that failed framing or checksum (0 for a
 	// clean file).
@@ -234,7 +236,7 @@ func DecodeJournal(r io.Reader) (*JournalReplay, error) {
 	if v := binary.BigEndian.Uint16(hdr[4:]); v != journalVersion {
 		return nil, fmt.Errorf("store: journal: unsupported version %d", v)
 	}
-	replay := &JournalReplay{GoodBytes: 6}
+	replay := &JournalReplay{Version: journalVersion, GoodBytes: 6}
 	for {
 		frameLen, rec, err := readJournalSegment(r)
 		if err == io.EOF {

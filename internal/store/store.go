@@ -109,6 +109,12 @@ type Store struct {
 	// index is the cached sorted domain list; nil means dirty (a domain
 	// was added since the last build). Rebuilt lazily by sortedIndex.
 	index []string
+	// gen is the store revision, bumped on every mutation that changes
+	// what a reader could observe (Add, BeginSweep, MarkMissingSweep —
+	// and therefore also journal replay and file decode, which go
+	// through those). Result caches key on it to invalidate when the
+	// store gains sweeps.
+	gen uint64
 	// naive counts what the uncompressed record count would be, for the
 	// compression-ratio ablation.
 	naive int64
@@ -126,6 +132,7 @@ func (s *Store) BeginSweep(day simtime.Day) {
 	defer s.mu.Unlock()
 	if n := len(s.sweeps); n == 0 || s.sweeps[n-1] < day {
 		s.sweeps = append(s.sweeps, day)
+		s.gen++
 	}
 }
 
@@ -144,6 +151,17 @@ func (s *Store) MarkMissingSweep(day simtime.Day) {
 	s.missing = append(s.missing, 0)
 	copy(s.missing[i+1:], s.missing[i:])
 	s.missing[i] = day
+	s.gen++
+}
+
+// Generation returns the store revision: a counter that increases on
+// every observable mutation. Two calls returning the same value bracket
+// a window in which the store's contents did not change, which is what
+// makes it a sound cache-invalidation key.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
 }
 
 // MissingSweeps returns the scheduled-but-uncollected sweep days.
@@ -160,6 +178,7 @@ func (s *Store) Add(m Measurement) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.naive++
+	s.gen++
 	ds, ok := s.domains[m.Domain]
 	if !ok {
 		ds = &domainSeries{}

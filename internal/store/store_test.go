@@ -315,6 +315,92 @@ func TestSnapshotAtAndMeasuredAt(t *testing.T) {
 	}
 }
 
+func TestGenerationTracksMutations(t *testing.T) {
+	s := New()
+	if s.Generation() != 0 {
+		t.Fatalf("fresh store generation = %d", s.Generation())
+	}
+	g0 := s.Generation()
+	s.BeginSweep(10)
+	if s.Generation() <= g0 {
+		t.Fatal("BeginSweep did not bump the generation")
+	}
+	g1 := s.Generation()
+	s.BeginSweep(10) // duplicate day: no observable change
+	if s.Generation() != g1 {
+		t.Fatal("no-op BeginSweep bumped the generation")
+	}
+	s.Add(Measurement{Domain: "a.ru.", Day: 10, Config: cfg([]string{"ns1.reg.ru."}, nil, nil)})
+	if s.Generation() <= g1 {
+		t.Fatal("Add did not bump the generation")
+	}
+	g2 := s.Generation()
+	s.MarkMissingSweep(12)
+	if s.Generation() <= g2 {
+		t.Fatal("MarkMissingSweep did not bump the generation")
+	}
+	g3 := s.Generation()
+	s.MarkMissingSweep(12) // duplicate: no observable change
+	if s.Generation() != g3 {
+		t.Fatal("duplicate MarkMissingSweep bumped the generation")
+	}
+}
+
+// TestGenerationConcurrentWithReaders hammers the read API (Snapshot,
+// Domains, Generation, At, Sweeps) against a concurrent writer. Run
+// under -race it pins both the generation counter's locking and the
+// PR-2 sorted-index locking; it also checks the invalidation contract:
+// a reader that saw generation G before reading and G again after knows
+// its reads were from one unchanged store state.
+func TestGenerationConcurrentWithReaders(t *testing.T) {
+	s := New()
+	const sweeps = 40
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for day := 0; day < sweeps; day++ {
+			s.BeginSweep(simtime.Day(day * 3))
+			for d := 0; d < 25; d++ {
+				s.Add(Measurement{
+					Domain: fmt.Sprintf("dom%02d.ru.", d),
+					Day:    simtime.Day(day * 3),
+					Config: cfg([]string{fmt.Sprintf("ns%d.reg.ru.", (day+d)%5)}, []string{"11.0.0.1"}, nil),
+				})
+			}
+			if day%7 == 3 {
+				s.MarkMissingSweep(simtime.Day(day*3 + 1))
+			}
+		}
+	}()
+	for i := 0; ; i++ {
+		g1 := s.Generation()
+		snap := s.Snapshot()
+		doms := s.Domains()
+		s.Sweeps()
+		s.MissingSweeps()
+		if len(doms) > 0 {
+			s.At(doms[0], simtime.Day(i%int(sweeps*3)))
+		}
+		g2 := s.Generation()
+		if g1 == g2 {
+			// Unchanged generation brackets: the snapshot must hold
+			// exactly the domains the index reported.
+			if snap.NumDomains() != len(doms) {
+				t.Fatalf("stable generation %d but snapshot %d domains vs index %d",
+					g1, snap.NumDomains(), len(doms))
+			}
+		}
+		select {
+		case <-done:
+			if got := s.Generation(); got == 0 {
+				t.Fatal("generation still 0 after writes")
+			}
+			return
+		default:
+		}
+	}
+}
+
 func TestCodecRejectsJunk(t *testing.T) {
 	if _, err := Read(bytes.NewReader([]byte("XXXX"))); err == nil {
 		t.Fatal("bad magic accepted")
