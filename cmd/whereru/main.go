@@ -22,6 +22,25 @@
 //	                collection outages (flagged as gaps in the analyses)
 //	-crash-after N  test hook: exit with code 3 after N checkpointed sweeps
 //	-quiet          suppress progress logging
+//
+// Distributed collection (internal/grid): sweeps can be sharded across
+// worker processes; results are byte-identical to a single-process run.
+//
+//	# coordinator with three external workers
+//	whereru -scale 2000 -grid-listen 127.0.0.1:7100 -grid-wait 3
+//	whereru -scale 2000 -grid-worker 127.0.0.1:7100 &   # ×3
+//
+//	-grid-listen A  coordinate sweeps on host:port (workers dial this)
+//	-grid-worker A  run as a measurement worker against the coordinator
+//	                at host:port (world flags must match the coordinator)
+//	-grid-workers N spawn N in-process grid workers
+//	-grid-shard N   domains per grid work unit (default 2000)
+//	-grid-wait N    wait for N connected workers before the first sweep
+//	-grid-metrics F write grid counters (units dispatched/completed/
+//	                reassigned, worker liveness) to F after the run
+//
+// After collection the run summary (suppressed by -quiet) reports each
+// sweep's wall-clock duration and per-domain latency quantiles.
 package main
 
 import (
@@ -33,8 +52,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"whereru/internal/core"
+	"whereru/internal/openintel"
 	"whereru/internal/simtime"
 	"whereru/internal/world"
 )
@@ -64,11 +85,20 @@ func run() error {
 	resume := flag.Bool("resume", false, "replay the -checkpoint journal, then continue from the first unswept day")
 	drop := flag.String("drop", "", "comma-separated YYYY-MM-DD sweep days to skip (simulated collection outages)")
 	crashAfter := flag.Int("crash-after", 0, "test hook: exit code 3 after N checkpointed sweeps")
+	gridListen := flag.String("grid-listen", "", "coordinate distributed sweeps on this host:port")
+	gridWorker := flag.String("grid-worker", "", "run as a grid measurement worker against the coordinator at host:port")
+	gridWorkers := flag.Int("grid-workers", 0, "spawn N in-process grid workers")
+	gridShard := flag.Int("grid-shard", 0, "domains per grid work unit (0 = default)")
+	gridWait := flag.Int("grid-wait", 0, "wait for N connected grid workers before the first sweep")
+	gridMetrics := flag.String("grid-metrics", "", "write grid counters to this file after the run")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *gridWorker != "" && (*gridListen != "" || *gridWorkers > 0) {
+		return fmt.Errorf("-grid-worker is exclusive with -grid-listen/-grid-workers")
 	}
 	var dropDays []simtime.Day
 	if *drop != "" {
@@ -91,11 +121,21 @@ func run() error {
 		Resume:          *resume,
 		DropSweeps:      dropDays,
 		CrashAfter:      *crashAfter,
+		GridListen:      *gridListen,
+		GridWorkers:     *gridWorkers,
+		GridShard:       *gridShard,
+		GridMinWorkers:  *gridWait,
 	}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if *gridWorker != "" {
+		// Worker mode: build a private world with the same flags the
+		// coordinator runs with, serve units until told to drain.
+		name := fmt.Sprintf("%s-%d", hostname(), os.Getpid())
+		return core.RunGridWorker(context.Background(), opts, *gridWorker, name)
 	}
 	study, err := core.New(opts)
 	if err != nil {
@@ -103,6 +143,26 @@ func run() error {
 	}
 	if err := study.Collect(context.Background()); err != nil {
 		return err
+	}
+	if !*quiet {
+		printRunSummary(os.Stderr, study.Stats)
+	}
+	if *gridMetrics != "" {
+		if study.Grid == nil {
+			return fmt.Errorf("-grid-metrics requires -grid-listen or -grid-workers")
+		}
+		f, err := os.Create(*gridMetrics)
+		if err != nil {
+			return err
+		}
+		if _, err := study.Grid.Metrics().WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *gridMetrics)
 	}
 	if err := study.RenderAll(os.Stdout); err != nil {
 		return err
@@ -148,4 +208,34 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *storePath)
 	}
 	return nil
+}
+
+// printRunSummary reports each live sweep's wall-clock duration and
+// per-domain latency quantiles, then the collection total. Replayed
+// sweeps (resume) carry no runtime timings and are skipped.
+func printRunSummary(w io.Writer, stats []openintel.SweepStats) {
+	var total time.Duration
+	timed := 0
+	for _, st := range stats {
+		if st.Duration <= 0 {
+			continue
+		}
+		fmt.Fprintf(w, "sweep %s: %d domains in %s (latency p50 %s, p90 %s, p99 %s)\n",
+			st.Day, st.Domains, st.Duration.Round(time.Millisecond),
+			st.LatencyP50, st.LatencyP90, st.LatencyP99)
+		total += st.Duration
+		timed++
+	}
+	if timed > 0 {
+		fmt.Fprintf(w, "collection: %d sweeps in %s (avg %s/sweep)\n",
+			timed, total.Round(time.Millisecond), (total / time.Duration(timed)).Round(time.Millisecond))
+	}
+}
+
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil || h == "" {
+		return "worker"
+	}
+	return h
 }

@@ -9,9 +9,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"whereru/internal/analysis"
 	"whereru/internal/dns"
+	"whereru/internal/grid"
 	"whereru/internal/netsim"
 	"whereru/internal/openintel"
 	"whereru/internal/scan"
@@ -75,6 +77,31 @@ type Options struct {
 	// hook behind the crash-resume smoke test. The TLS scans are skipped;
 	// a resumed run redoes them.
 	CrashAfter int
+	// GridListen, when set (host:port; port 0 picks a free one), runs
+	// collection through internal/grid: a coordinator listens here,
+	// shards each sweep day into work units, and leases them to
+	// connected workers, degrading to local execution when none are
+	// live. Results are byte-identical to a single-process run.
+	GridListen string
+	// GridWorkers spawns that many in-process grid workers (each builds
+	// its own copy of the world). Setting it without GridListen listens
+	// on a loopback port. External workers (`whereru -grid-worker`) may
+	// connect either way.
+	GridWorkers int
+	// GridShard is the number of domains per grid work unit (default
+	// grid.DefaultShardSize).
+	GridShard int
+	// GridMinWorkers makes Collect wait for that many connected workers
+	// before the first sweep (0 starts immediately, measuring locally
+	// until workers join).
+	GridMinWorkers int
+	// GridLeaseTTL overrides the work-unit lease TTL (default
+	// grid.DefaultLeaseTTL). Tests shorten it to exercise expiry fast.
+	GridLeaseTTL time.Duration
+	// OnGridListen, if set, is called once with the coordinator's bound
+	// address before workers are awaited — how tests and operators learn
+	// the port when GridListen used port 0.
+	OnGridListen func(addr string)
 	// Progress, if non-nil, receives human-readable progress lines.
 	Progress func(format string, args ...any)
 }
@@ -108,6 +135,10 @@ type Study struct {
 	Sweeps []simtime.Day
 	// Stats summarizes each sweep.
 	Stats []openintel.SweepStats
+	// Grid is the sweep coordinator when collection ran distributed
+	// (Options.GridListen/GridWorkers); its Metrics outlive Collect so
+	// operators can inspect reassignment counters after the run.
+	Grid *grid.Coordinator
 }
 
 // New builds the world for a study.
@@ -196,6 +227,28 @@ func (s *Study) adoptStore(st *store.Store) {
 	s.Sweeps = st.Sweeps()
 }
 
+// measurementResolver builds the sweep resolver for opts against w:
+// fault-injected with the scheduled outage when configured, plain
+// otherwise. Collect uses it for the coordinator process; RunGridWorker
+// uses it for each worker's private copy of the world — identical
+// configuration is what makes grid unit results deterministic.
+func measurementResolver(opts Options, w *world.World, outages *netsim.OutageSchedule) *dns.Resolver {
+	resolver := w.NewResolver()
+	if opts.Loss > 0 || opts.SimulateOutage {
+		seed := opts.FaultSeed
+		if seed == 0 {
+			seed = opts.World.Seed
+		}
+		profile := dns.FaultProfile{Loss: opts.Loss}
+		r, ft := w.NewFaultyResolver(seed, profile)
+		if opts.SimulateOutage {
+			w.ScheduleRegistryOutage(ft, profile, simtime.OneDay(simtime.MeasurementOutage), outages)
+		}
+		resolver = r
+	}
+	return resolver
+}
+
 // Collect runs the full measurement campaign: DNS sweeps over the study
 // window (monthly, then dense for 2022) and weekly TLS scans over the
 // Russian-CA window. With CheckpointPath set each completed sweep is
@@ -210,21 +263,8 @@ func (s *Study) Collect(ctx context.Context) error {
 		end = simtime.StudyEnd
 	}
 	schedule := openintel.Schedule(start, end, s.Opts.DenseFrom, s.Opts.DenseStep)
-	resolver := s.World.NewResolver()
-	if s.Opts.Loss > 0 || s.Opts.SimulateOutage {
-		seed := s.Opts.FaultSeed
-		if seed == 0 {
-			seed = s.Opts.World.Seed
-		}
-		profile := dns.FaultProfile{Loss: s.Opts.Loss}
-		r, ft := s.World.NewFaultyResolver(seed, profile)
-		if s.Opts.SimulateOutage {
-			s.World.ScheduleRegistryOutage(ft, profile, simtime.OneDay(simtime.MeasurementOutage), s.Outages)
-		}
-		resolver = r
-	}
 	pipe := &openintel.Pipeline{
-		Resolver:  resolver,
+		Resolver:  measurementResolver(s.Opts, s.World, s.Outages),
 		Seeds:     s.World.Registries,
 		Clock:     s.World.Clock(),
 		Store:     s.Store,
@@ -261,6 +301,18 @@ func (s *Study) Collect(ctx context.Context) error {
 		drop[d] = true
 	}
 
+	// sweepFn is how one day gets measured: in-process by default,
+	// through the grid coordinator when distribution is requested.
+	sweepFn := pipe.Sweep
+	if s.Opts.GridListen != "" || s.Opts.GridWorkers > 0 {
+		shutdown, err := s.startGrid(ctx, pipe)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		sweepFn = s.Grid.SweepDay
+	}
+
 	s.Sweeps = s.Store.Sweeps()
 	s.Opts.Progress("collecting %d DNS sweeps (%s .. %s)...", len(schedule), start, end)
 	live := 0
@@ -274,7 +326,7 @@ func (s *Study) Collect(ctx context.Context) error {
 			}
 			continue
 		}
-		stats, err := pipe.Sweep(ctx, day)
+		stats, err := sweepFn(ctx, day)
 		if err != nil {
 			return fmt.Errorf("core: sweep %s: %w", day, err)
 		}

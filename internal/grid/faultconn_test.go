@@ -1,0 +1,153 @@
+package grid_test
+
+import (
+	"bytes"
+	"context"
+	"hash/fnv"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"whereru/internal/core"
+	"whereru/internal/grid"
+)
+
+// faultConn wraps a worker's connection and injects one deterministic
+// transport fault, in the spirit of dns.FaultTransport: the decision is
+// a pure function of the seed and the write counter, so every run of
+// the test degrades the same frame the same way. Frames are written in
+// a single Write call, so "one write" is "one frame" here.
+type faultConn struct {
+	net.Conn
+	seed uint64
+	mode string // "corrupt" flips a payload byte; "cut" tears the frame
+
+	mu     sync.Mutex
+	writes int
+	fired  bool
+}
+
+// resultFrameMin distinguishes result frames (hundreds of bytes, they
+// carry a measurement batch) from hello (~tens) and heartbeats (9).
+const resultFrameMin = 200
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	f.writes++
+	fire := !f.fired && len(b) >= resultFrameMin
+	if fire {
+		f.fired = true
+	}
+	n := f.writes
+	f.mu.Unlock()
+	if !fire {
+		return f.Conn.Write(b)
+	}
+	switch f.mode {
+	case "corrupt":
+		// Flip one bit of a seed-chosen payload byte; the checksum no
+		// longer matches and the coordinator must reject the frame.
+		h := fnv.New64a()
+		var k [16]byte
+		for i := 0; i < 8; i++ {
+			k[i] = byte(f.seed >> (8 * i))
+			k[8+i] = byte(uint64(n) >> (8 * i))
+		}
+		h.Write(k[:])
+		c := make([]byte, len(b))
+		copy(c, b)
+		c[4+h.Sum64()%uint64(len(b)-8)] ^= 0x40 // stay inside the payload
+		return f.Conn.Write(c)
+	case "cut":
+		// Tear the frame: half the bytes hit the wire, then the
+		// connection vanishes mid-unit.
+		f.Conn.Write(b[:len(b)/2])
+		f.Conn.Close()
+		return 0, net.ErrClosed
+	default:
+		return f.Conn.Write(b)
+	}
+}
+
+// TestGridLossyWorker: a worker whose transport corrupts or tears a
+// result frame must be detected (checksum / framing), dropped, and its
+// units re-measured elsewhere — with the final store byte-identical to
+// a clean single-process sweep.
+func TestGridLossyWorker(t *testing.T) {
+	for _, mode := range []string{"corrupt", "cut"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			opts := testOpts()
+			day := opts.StudyStart
+
+			base := workerPipeline(t, opts)
+			if _, err := base.Sweep(context.Background(), day); err != nil {
+				t.Fatalf("baseline sweep: %v", err)
+			}
+			var baseStore bytes.Buffer
+			if _, err := base.Store.WriteTo(&baseStore); err != nil {
+				t.Fatalf("baseline store: %v", err)
+			}
+
+			coordPipe := workerPipeline(t, opts)
+			coord := grid.NewCoordinator(coordPipe)
+			coord.ShardSize = 64
+			coord.LeaseTTL = time.Second
+			coord.Fingerprint = core.GridFingerprint(opts)
+			addr, err := coord.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("Listen: %v", err)
+			}
+			defer coord.Close()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			lossyDial := func(ctx context.Context, addr string) (net.Conn, error) {
+				var d net.Dialer
+				nc, err := d.DialContext(ctx, "tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				return &faultConn{Conn: nc, seed: 0xC0FFEE, mode: mode}, nil
+			}
+			var wg sync.WaitGroup
+			for _, w := range []*grid.Worker{
+				{Pipeline: workerPipeline(t, opts), Name: "lossy", Fingerprint: core.GridFingerprint(opts), Dial: lossyDial},
+				{Pipeline: workerPipeline(t, opts), Name: "clean", Fingerprint: core.GridFingerprint(opts)},
+			} {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					w.Run(ctx, addr) // the lossy worker dies of its own faults
+				}()
+			}
+			if err := coord.WaitWorkers(ctx, 2); err != nil {
+				t.Fatalf("WaitWorkers: %v", err)
+			}
+
+			if _, err := coord.SweepDay(ctx, day); err != nil {
+				t.Fatalf("SweepDay: %v", err)
+			}
+			cancel()
+			coord.Close()
+			wg.Wait()
+
+			snap := coord.Metrics().Snapshot()
+			if mode == "corrupt" && snap["grid_frames_rejected_total"] == 0 {
+				t.Errorf("expected the corrupted frame to be rejected, got %v", snap)
+			}
+			if snap["grid_units_reassigned_total"] == 0 {
+				t.Errorf("expected the lossy worker's unit to be reassigned, got %v", snap)
+			}
+			var got bytes.Buffer
+			if _, err := coordPipe.Store.WriteTo(&got); err != nil {
+				t.Fatalf("store: %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), baseStore.Bytes()) {
+				t.Errorf("store bytes differ after transport faults")
+			}
+		})
+	}
+}

@@ -1,0 +1,284 @@
+// Tests live in grid_test so they can drive the full core.Study wiring
+// (core imports grid; an internal test package would cycle).
+package grid_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"whereru/internal/core"
+	"whereru/internal/grid"
+	"whereru/internal/openintel"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+	"whereru/internal/world"
+)
+
+// testOpts is a short dense window over the small world: ~8 sweeps of a
+// few hundred domains, enough for several work units per day.
+func testOpts() core.Options {
+	opts := core.QuickOptions()
+	opts.World.Scale = 20000
+	opts.World.Seed = 5
+	opts.DenseStep = 3
+	opts.StudyStart = simtime.Date(2022, 2, 18)
+	opts.StudyEnd = simtime.Date(2022, 3, 8)
+	opts.GridShard = 64
+	return opts
+}
+
+// runStudy collects with opts and returns the serialized store and the
+// rendered report.
+func runStudy(t *testing.T, opts core.Options) (storeBytes, report []byte) {
+	t.Helper()
+	study, err := core.New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := study.Collect(context.Background()); err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	var st, rep bytes.Buffer
+	if err := study.SaveStore(&st); err != nil {
+		t.Fatalf("SaveStore: %v", err)
+	}
+	if err := study.RenderAll(&rep); err != nil {
+		t.Fatalf("RenderAll: %v", err)
+	}
+	return st.Bytes(), rep.Bytes()
+}
+
+// TestGridDeterminism is the core guarantee: the same study through the
+// grid — any worker count, including zero (local fallback) — produces a
+// store and report byte-identical to the single-process run.
+func TestGridDeterminism(t *testing.T) {
+	baseStore, baseReport := runStudy(t, testOpts())
+
+	for _, workers := range []int{0, 1, 3, 8} {
+		workers := workers
+		t.Run(map[int]string{0: "local-fallback", 1: "one", 3: "three", 8: "eight"}[workers], func(t *testing.T) {
+			t.Parallel()
+			opts := testOpts()
+			opts.GridListen = "127.0.0.1:0"
+			opts.GridWorkers = workers
+			opts.GridMinWorkers = workers
+			gotStore, gotReport := runStudy(t, opts)
+			if !bytes.Equal(gotStore, baseStore) {
+				t.Errorf("store bytes differ from single-process run (%d vs %d bytes)", len(gotStore), len(baseStore))
+			}
+			if !bytes.Equal(gotReport, baseReport) {
+				t.Errorf("report differs from single-process run")
+			}
+		})
+	}
+}
+
+// TestGridJournalDeterminism: with checkpointing on, the journal a grid
+// run fsyncs is byte-identical to a single-process run's (fault-free
+// runs; the journal sorts measurements by domain, so shard merge order
+// cannot leak into the bytes).
+func TestGridJournalDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	base := testOpts()
+	base.CheckpointPath = dir + "/base.wrjl"
+	baseStore, _ := runStudy(t, base)
+
+	gridOpts := testOpts()
+	gridOpts.CheckpointPath = dir + "/grid.wrjl"
+	gridOpts.GridListen = "127.0.0.1:0"
+	gridOpts.GridWorkers = 3
+	gridOpts.GridMinWorkers = 3
+	gridStore, _ := runStudy(t, gridOpts)
+
+	if !bytes.Equal(gridStore, baseStore) {
+		t.Fatalf("store bytes differ")
+	}
+	baseJ := readFile(t, base.CheckpointPath)
+	gridJ := readFile(t, gridOpts.CheckpointPath)
+	if !bytes.Equal(baseJ, gridJ) {
+		t.Errorf("journal bytes differ: single-process %d bytes, grid %d bytes", len(baseJ), len(gridJ))
+	}
+}
+
+// TestGridKillWorkerMidSweep: a worker that vanishes mid-unit (abrupt
+// connection close on its second assignment) must not change a byte of
+// the result, and the coordinator must observably reassign its unit.
+func TestGridKillWorkerMidSweep(t *testing.T) {
+	baseStore, baseReport := runStudy(t, testOpts())
+
+	opts := testOpts()
+	opts.GridListen = "127.0.0.1:0"
+	opts.GridWorkers = 2
+	opts.GridMinWorkers = 3 // two healthy in-process + the doomed one
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	opts.OnGridListen = func(addr string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &grid.Worker{
+				Pipeline:       workerPipeline(t, opts),
+				Name:           "doomed",
+				Fingerprint:    core.GridFingerprint(opts),
+				ExitAfterUnits: 1,
+			}
+			// Exits nil when it self-kills on its second assignment.
+			if err := w.Run(ctx, addr); err != nil && ctx.Err() == nil {
+				t.Errorf("doomed worker: %v", err)
+			}
+		}()
+	}
+
+	study, err := core.New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := study.Collect(context.Background()); err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	cancel()
+	wg.Wait()
+
+	snap := study.Grid.Metrics().Snapshot()
+	if snap["grid_units_reassigned_total"] == 0 {
+		t.Errorf("expected a nonzero reassignment counter after killing a worker, got %v", snap)
+	}
+
+	var st, rep bytes.Buffer
+	if err := study.SaveStore(&st); err != nil {
+		t.Fatalf("SaveStore: %v", err)
+	}
+	if err := study.RenderAll(&rep); err != nil {
+		t.Fatalf("RenderAll: %v", err)
+	}
+	if !bytes.Equal(st.Bytes(), baseStore) {
+		t.Errorf("store bytes differ after mid-sweep worker death")
+	}
+	if !bytes.Equal(rep.Bytes(), baseReport) {
+		t.Errorf("report differs after mid-sweep worker death")
+	}
+}
+
+// TestGridHangWorkerLeaseExpiry: a worker that goes silent — connection
+// open, no results, no heartbeats — must lose its lease to the TTL and
+// the unit must complete elsewhere with identical bytes.
+func TestGridHangWorkerLeaseExpiry(t *testing.T) {
+	opts := testOpts()
+	opts.StudyEnd = opts.StudyStart // single sweep day keeps the hang short
+	day := opts.StudyStart
+
+	// Single-process baseline for the day.
+	base := workerPipeline(t, opts)
+	if _, err := base.Sweep(context.Background(), day); err != nil {
+		t.Fatalf("baseline sweep: %v", err)
+	}
+	var baseStore bytes.Buffer
+	if _, err := base.Store.WriteTo(&baseStore); err != nil {
+		t.Fatalf("baseline store: %v", err)
+	}
+
+	coordPipe := workerPipeline(t, opts)
+	coord := grid.NewCoordinator(coordPipe)
+	coord.ShardSize = 64
+	coord.LeaseTTL = 200 * time.Millisecond
+	coord.Fingerprint = core.GridFingerprint(opts)
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, w := range []*grid.Worker{
+		{Pipeline: workerPipeline(t, opts), Name: "healthy", Fingerprint: core.GridFingerprint(opts), HeartbeatEvery: 50 * time.Millisecond},
+		{Pipeline: workerPipeline(t, opts), Name: "hanger", Fingerprint: core.GridFingerprint(opts), HeartbeatEvery: 50 * time.Millisecond, HangAfterUnits: 1},
+	} {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx, addr) // errors are fine: the hanger dies by cancel
+		}()
+	}
+	if err := coord.WaitWorkers(ctx, 2); err != nil {
+		t.Fatalf("WaitWorkers: %v", err)
+	}
+
+	if _, err := coord.SweepDay(ctx, day); err != nil {
+		t.Fatalf("SweepDay: %v", err)
+	}
+	cancel()
+	coord.Close()
+	wg.Wait()
+
+	snap := coord.Metrics().Snapshot()
+	if snap["grid_units_reassigned_total"] == 0 {
+		t.Errorf("expected lease expiry to reassign the hung worker's unit, got %v", snap)
+	}
+	var got bytes.Buffer
+	if _, err := coordPipe.Store.WriteTo(&got); err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), baseStore.Bytes()) {
+		t.Errorf("store bytes differ after lease expiry")
+	}
+}
+
+// TestGridFingerprintMismatch: a worker built against a different world
+// must be rejected at handshake, never leased work.
+func TestGridFingerprintMismatch(t *testing.T) {
+	opts := testOpts()
+	coord := grid.NewCoordinator(workerPipeline(t, opts))
+	coord.Fingerprint = core.GridFingerprint(opts)
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer coord.Close()
+
+	w := &grid.Worker{
+		Pipeline:    workerPipeline(t, opts),
+		Name:        "imposter",
+		Fingerprint: core.GridFingerprint(opts) + 1,
+	}
+	err = w.Run(context.Background(), addr)
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("want handshake rejection, got %v", err)
+	}
+}
+
+// workerPipeline builds a private world for opts, as a worker process
+// would, and returns a measurement pipeline over it.
+func workerPipeline(t testing.TB, opts core.Options) *openintel.Pipeline {
+	t.Helper()
+	w, err := world.Build(opts.World)
+	if err != nil {
+		t.Fatalf("world.Build: %v", err)
+	}
+	return &openintel.Pipeline{
+		Resolver:  w.NewResolver(),
+		Seeds:     w.Registries,
+		Clock:     w.Clock(),
+		Store:     store.New(),
+		Workers:   opts.Workers,
+		CollectMX: opts.CollectMX,
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return b
+}

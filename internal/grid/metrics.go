@@ -1,0 +1,107 @@
+package grid
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"whereru/internal/openintel"
+)
+
+// Metrics counts what the coordinator did, in the same hand-rolled
+// Prometheus text style internal/serve exposes: enough to watch a run
+// converge and — critically for the robustness story — to observe that a
+// killed worker's units really were reassigned.
+type Metrics struct {
+	mu sync.Mutex
+
+	unitsDispatched uint64 // assignments sent to workers (incl. reassignments)
+	unitsCompleted  uint64 // units merged (worker-measured)
+	unitsLocal      uint64 // units the coordinator measured itself
+	unitsReassigned uint64 // lease expiries that requeued a unit
+	duplicateUnits  uint64 // results for already-done units, discarded
+	staleResults    uint64 // results echoing an expired lease seq (merged if unit open)
+	framesRejected  uint64 // frames dropped for checksum/format errors
+	workerConnects  uint64
+	workerFailures  uint64 // connections that ended in an error
+	workersLive     int64
+
+	unitLatency openintel.LatencyHistogram // coordinator-observed per-unit wall clock
+}
+
+func (m *Metrics) add(field *uint64, n uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	*field += n
+	m.mu.Unlock()
+}
+
+func (m *Metrics) observeUnit(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.unitLatency.Observe(d)
+	m.mu.Unlock()
+}
+
+func (m *Metrics) workerDelta(d int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.workersLive += d
+	if d > 0 {
+		m.workerConnects += uint64(d)
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot returns the counters as a name→value map (histogram buckets
+// keyed grid_unit_seconds_bucket_<n>).
+func (m *Metrics) Snapshot() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[string]uint64{
+		"grid_units_dispatched_total": m.unitsDispatched,
+		"grid_units_completed_total":  m.unitsCompleted,
+		"grid_units_local_total":      m.unitsLocal,
+		"grid_units_reassigned_total": m.unitsReassigned,
+		"grid_duplicate_units_total":  m.duplicateUnits,
+		"grid_stale_results_total":    m.staleResults,
+		"grid_frames_rejected_total":  m.framesRejected,
+		"grid_worker_connects_total":  m.workerConnects,
+		"grid_worker_failures_total":  m.workerFailures,
+		"grid_workers_live":           uint64(m.workersLive),
+	}
+	for i, c := range m.unitLatency.Counts {
+		if c > 0 {
+			out[fmt.Sprintf("grid_unit_seconds_bucket_%d", i)] = uint64(c)
+		}
+	}
+	return out
+}
+
+// WriteTo renders the metrics in Prometheus text exposition format,
+// names sorted for deterministic output.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var total int64
+	for _, k := range names {
+		n, err := fmt.Fprintf(w, "%s %d\n", k, snap[k])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,160 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"time"
+
+	"whereru/internal/openintel"
+	"whereru/internal/simtime"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{{}, {0x42}, bytes.Repeat([]byte{0xab}, 4096)} {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, payload); err != nil {
+			t.Fatalf("writeFrame(%d bytes): %v", len(payload), err)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame(%d bytes): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("round trip lost %d-byte payload", len(payload))
+		}
+	}
+}
+
+// TestFrameDetectsEveryBitFlip: any single-bit corruption of a frame —
+// header, payload, or trailer — must surface as an error, never as a
+// silently different payload. This is the property the lease machinery
+// leans on: a lossy transport can only kill a connection, not corrupt a
+// merge.
+func TestFrameDetectsEveryBitFlip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("unit 7 measurements go here")
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for i := 0; i < len(frame); i++ {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte{}, frame...)
+			bad[i] ^= 1 << bit
+			got, err := readFrame(bytes.NewReader(bad))
+			// Header flips may announce a longer frame (read error) or a
+			// shorter one (checksum error); payload/trailer flips are
+			// checksum errors. All must fail.
+			if err == nil && bytes.Equal(got, payload) {
+				t.Fatalf("flip of byte %d bit %d went undetected", i, bit)
+			}
+		}
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("torn mid-flight")); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	for n := 0; n < len(frame); n++ {
+		if _, err := readFrame(bytes.NewReader(frame[:n])); err == nil {
+			t.Fatalf("readFrame accepted a %d-byte truncation of a %d-byte frame", n, len(frame))
+		}
+	}
+}
+
+func TestFrameRejectsAbsurdLength(t *testing.T) {
+	hdr := binary.BigEndian.AppendUint32(nil, maxFramePayload+1)
+	_, err := readFrame(bytes.NewReader(hdr))
+	if _, ok := err.(*wireError); !ok {
+		t.Fatalf("want wireError for oversized announcement, got %v", err)
+	}
+	if err := writeFrame(&bytes.Buffer{}, make([]byte, maxFramePayload+1)); err == nil {
+		t.Fatal("writeFrame accepted an oversized payload")
+	}
+}
+
+// TestMessageRoundTrips drives every message codec through encode →
+// decode and checks structural equality, then feeds the decoder every
+// truncation of each payload: all must error, none may panic.
+func TestMessageRoundTrips(t *testing.T) {
+	var hist openintel.LatencyHistogram
+	hist.Observe(150 * time.Millisecond)
+	hist.Observe(40 * time.Microsecond)
+	res := resultMsg{
+		Unit: 3, Seq: 19, Day: simtime.Date(2022, 2, 24),
+		Failed: 2, NXDomain: 1, Unreachable: 4, Retries: 7, Recovered: 6,
+		Latency: hist,
+		Batch:   []byte{0xde, 0xad, 0xbe, 0xef},
+	}
+	cases := []struct {
+		name   string
+		msg    any
+		typ    uint8
+		decode func(r *wireReader) (any, error)
+	}{
+		{"hello", helloMsg{Name: "w-1", Fingerprint: 0xfeedface}, msgHello,
+			func(r *wireReader) (any, error) { return decodeHello(r) }},
+		{"welcome", welcomeMsg{Fingerprint: 0xfeedface}, msgWelcome,
+			func(r *wireReader) (any, error) { return decodeWelcome(r) }},
+		{"reject", rejectMsg{Reason: "fingerprint mismatch"}, msgReject,
+			func(r *wireReader) (any, error) { return decodeReject(r) }},
+		{"assign", assignMsg{Unit: 5, Seq: 12, Day: simtime.Date(2022, 3, 1), Start: 640, End: 704}, msgAssign,
+			func(r *wireReader) (any, error) { return decodeAssign(r) }},
+		{"result", res, msgResult,
+			func(r *wireReader) (any, error) { return decodeResult(r) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := tc.msg.(interface{ encode() []byte }).encode()
+			r := &wireReader{b: enc}
+			if typ := r.u8("message type"); typ != tc.typ {
+				t.Fatalf("message type = %d, want %d", typ, tc.typ)
+			}
+			got, err := tc.decode(r)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, tc.msg) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tc.msg)
+			}
+			for n := 1; n < len(enc); n++ {
+				r := &wireReader{b: enc[:n]}
+				r.u8("message type")
+				if _, err := tc.decode(r); err == nil {
+					t.Fatalf("decode accepted a %d-byte truncation of %d bytes", n, len(enc))
+				}
+			}
+			// Trailing garbage is rejected (the done() check).
+			r = &wireReader{b: append(append([]byte{}, enc...), 0x00)}
+			r.u8("message type")
+			if _, err := tc.decode(r); err == nil {
+				t.Error("decode accepted trailing garbage")
+			}
+		})
+	}
+}
+
+func TestAssignRejectsInvertedRange(t *testing.T) {
+	enc := assignMsg{Unit: 1, Seq: 2, Day: 100, Start: 50, End: 10}.encode()
+	r := &wireReader{b: enc}
+	r.u8("message type")
+	if _, err := decodeAssign(r); err == nil {
+		t.Fatal("decodeAssign accepted an inverted range")
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	enc := encodeHeartbeat()
+	r := &wireReader{b: enc}
+	if typ := r.u8("message type"); typ != msgHeartbeat {
+		t.Fatalf("message type = %d, want %d", typ, msgHeartbeat)
+	}
+	if err := r.done("heartbeat"); err != nil {
+		t.Fatalf("heartbeat carries unexpected fields: %v", err)
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"whereru/internal/dns"
 	"whereru/internal/simtime"
@@ -72,6 +74,76 @@ type SweepStats struct {
 	// of whose name-server hosts resolved to an address — degraded, not
 	// Failed.
 	Unreachable int
+	// Duration is the sweep's wall-clock time. It is runtime-only: the
+	// journal never records it (journal bytes must be identical run to
+	// run), so replayed sweeps report zero.
+	Duration time.Duration
+	// LatencyP50/P90/P99 are per-domain measurement latency quantiles,
+	// extracted from a power-of-two-bucket histogram so distributed
+	// sweeps can merge worker-side observations exactly. Runtime-only,
+	// like Duration.
+	LatencyP50, LatencyP90, LatencyP99 time.Duration
+}
+
+// latBuckets is the number of latency histogram buckets: power-of-two
+// microsecond bounds from 1µs to ~8.4s, plus an overflow bucket.
+const latBuckets = 24
+
+// LatencyHistogram counts per-domain measurement durations in
+// power-of-two microsecond buckets. Histograms merge by addition, so a
+// sweep sharded across grid workers aggregates latency exactly; the
+// quantiles read from a merged histogram are identical no matter how the
+// work was split.
+type LatencyHistogram struct {
+	Counts [latBuckets]uint32
+}
+
+// Observe records one duration.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	i := 0
+	for i < latBuckets-1 && us > int64(1)<<i {
+		i++
+	}
+	h.Counts[i]++
+}
+
+// Merge adds another histogram's counts into h.
+func (h *LatencyHistogram) Merge(o *LatencyHistogram) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+}
+
+// Total returns the number of observations.
+func (h *LatencyHistogram) Total() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += uint64(c)
+	}
+	return n
+}
+
+// Quantile returns the upper bound of the bucket holding the q-quantile
+// observation (0 when the histogram is empty). Resolution is the bucket
+// width — a factor of two — which is plenty for operator summaries.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += uint64(c)
+		if cum >= target {
+			return time.Duration(int64(1)<<i) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(1)<<(latBuckets-1)) * time.Microsecond
 }
 
 // String renders the stats compactly; degradation counters appear only
@@ -84,35 +156,32 @@ func (st SweepStats) String() string {
 	return s
 }
 
-// Sweep measures every seeded domain for the given day. It advances the
-// world clock, flushes resolver caches (yesterday's delegations must not
-// leak into today's view), resolves each domain concurrently, and records
-// the results.
-func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, error) {
-	if p.Clock != nil {
-		p.Clock.Set(day)
-	}
-	p.Resolver.FlushCache()
-	seeds := p.Seeds.ZoneSnapshot(day)
-	p.Store.BeginSweep(day)
+// measured is one domain's pool result: the measurement plus the outcome
+// flags and how long the three lookups took.
+type measured struct {
+	m           store.Measurement
+	nx          bool
+	unreachable bool
+	took        time.Duration
+}
 
+// measurePool resolves every domain concurrently with the pipeline's
+// worker count and delivers each result to sink from the calling
+// goroutine (so sink needs no locking). It is the shared engine under
+// Sweep (whole-zone, streaming into the store) and MeasureUnit (one grid
+// work unit, no store side effects). On cancellation it returns promptly
+// with whatever results already arrived delivered.
+func (p *Pipeline) measurePool(ctx context.Context, day simtime.Day, domains []string, sink func(measured)) {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = 8
 	}
-	if workers > len(seeds) && len(seeds) > 0 {
-		workers = len(seeds)
+	if workers > len(domains) && len(domains) > 0 {
+		workers = len(domains)
 	}
 
-	clientBefore := p.Resolver.Client.Stats()
-
-	type result struct {
-		m           store.Measurement
-		nx          bool
-		unreachable bool
-	}
 	jobs := make(chan string)
-	results := make(chan result)
+	results := make(chan measured)
 	var wg sync.WaitGroup
 	var done int64
 
@@ -121,15 +190,16 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 		go func() {
 			defer wg.Done()
 			for domain := range jobs {
+				start := time.Now()
 				m, nx, unreachable := p.measure(ctx, day, domain)
 				select {
-				case results <- result{m: m, nx: nx, unreachable: unreachable}:
+				case results <- measured{m: m, nx: nx, unreachable: unreachable, took: time.Since(start)}:
 				case <-ctx.Done():
 					return
 				}
 				if p.OnProgress != nil {
 					if d := atomic.AddInt64(&done, 1); d%2048 == 0 {
-						p.OnProgress(int(d), len(seeds))
+						p.OnProgress(int(d), len(domains))
 					}
 				}
 			}
@@ -137,7 +207,7 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 	}
 	go func() {
 		defer close(jobs)
-		for _, d := range seeds {
+		for _, d := range domains {
 			select {
 			case jobs <- d:
 			case <-ctx.Done():
@@ -150,12 +220,33 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 		close(results)
 	}()
 
+	for r := range results {
+		sink(r)
+	}
+}
+
+// Sweep measures every seeded domain for the given day. It advances the
+// world clock, flushes resolver caches (yesterday's delegations must not
+// leak into today's view), resolves each domain concurrently, and records
+// the results.
+func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, error) {
+	begin := time.Now()
+	if p.Clock != nil {
+		p.Clock.Set(day)
+	}
+	p.Resolver.FlushCache()
+	seeds := p.Seeds.ZoneSnapshot(day)
+	p.Store.BeginSweep(day)
+
+	clientBefore := p.Resolver.Client.Stats()
+
 	stats := SweepStats{Day: day, Domains: len(seeds)}
+	var hist LatencyHistogram
 	var collected []store.Measurement
 	if p.Checkpoint != nil {
 		collected = make([]store.Measurement, 0, len(seeds))
 	}
-	for r := range results {
+	p.measurePool(ctx, day, seeds, func(r measured) {
 		if r.m.Config.Failed {
 			stats.Failed++
 		}
@@ -165,14 +256,19 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 		if r.unreachable {
 			stats.Unreachable++
 		}
+		hist.Observe(r.took)
 		p.Store.Add(r.m)
 		if p.Checkpoint != nil {
 			collected = append(collected, r.m)
 		}
-	}
+	})
 	clientAfter := p.Resolver.Client.Stats()
 	stats.Retries = int(clientAfter.Retries - clientBefore.Retries)
 	stats.Recovered = int(clientAfter.Recovered - clientBefore.Recovered)
+	stats.Duration = time.Since(begin)
+	stats.LatencyP50 = hist.Quantile(0.50)
+	stats.LatencyP90 = hist.Quantile(0.90)
+	stats.LatencyP99 = hist.Quantile(0.99)
 	if err := ctx.Err(); err != nil {
 		// A cancelled sweep is incomplete: it must not reach the journal,
 		// or resume would trust a partial day as collected.
@@ -184,6 +280,81 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 		}
 	}
 	return stats, nil
+}
+
+// UnitResult is what measuring one contiguous slice of the day's
+// inventory produces: the measurements sorted by domain, the outcome
+// tallies Sweep would have accumulated for them, and the per-domain
+// latency histogram. It carries no store or journal side effects — the
+// grid coordinator merges unit results deterministically and commits the
+// sweep in one place.
+type UnitResult struct {
+	// Measurements holds one measurement per requested domain, sorted by
+	// domain name.
+	Measurements []store.Measurement
+	Failed       int
+	NXDomain     int
+	Unreachable  int
+	// Retries/Recovered are the resolver client's counter deltas across
+	// the unit.
+	Retries   int
+	Recovered int
+	// Latency is the per-domain measurement latency histogram.
+	Latency LatencyHistogram
+}
+
+// MeasureUnit resolves a contiguous slice of the day's inventory without
+// touching the store or the journal: the worker half of a distributed
+// sweep (internal/grid). The caller is responsible for day context — the
+// world clock must be at day and the resolver cache flushed at day
+// boundaries, exactly as Sweep does for a whole zone. A cancelled unit
+// returns the context error; partial results are discarded by callers.
+func (p *Pipeline) MeasureUnit(ctx context.Context, day simtime.Day, domains []string) (UnitResult, error) {
+	clientBefore := p.Resolver.Client.Stats()
+	res := UnitResult{Measurements: make([]store.Measurement, 0, len(domains))}
+	p.measurePool(ctx, day, domains, func(r measured) {
+		if r.m.Config.Failed {
+			res.Failed++
+		}
+		if r.nx {
+			res.NXDomain++
+		}
+		if r.unreachable {
+			res.Unreachable++
+		}
+		res.Latency.Observe(r.took)
+		res.Measurements = append(res.Measurements, r.m)
+	})
+	clientAfter := p.Resolver.Client.Stats()
+	res.Retries = int(clientAfter.Retries - clientBefore.Retries)
+	res.Recovered = int(clientAfter.Recovered - clientBefore.Recovered)
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	sort.Slice(res.Measurements, func(i, j int) bool {
+		return res.Measurements[i].Domain < res.Measurements[j].Domain
+	})
+	return res, nil
+}
+
+// CommitSweep records an externally-measured sweep: it registers the day,
+// adds every measurement to the store, and journals the sweep when
+// checkpointing — the commit half of Sweep, used by the grid coordinator
+// after merging worker results. Measurements must all carry stats.Day;
+// their order does not affect the store or journal bytes (the store is
+// per-domain and the journal sorts), but callers pass shard order so the
+// commit is reproducible end to end.
+func (p *Pipeline) CommitSweep(stats SweepStats, ms []store.Measurement) error {
+	p.Store.BeginSweep(stats.Day)
+	for _, m := range ms {
+		p.Store.Add(m)
+	}
+	if p.Checkpoint != nil {
+		if err := p.Checkpoint.AppendSweep(journalRecord(stats, ms)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func journalRecord(st SweepStats, ms []store.Measurement) store.JournalSweep {

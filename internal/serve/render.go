@@ -18,6 +18,7 @@ import (
 	"whereru/internal/analysis"
 	"whereru/internal/core"
 	"whereru/internal/netsim"
+	"whereru/internal/openintel"
 	"whereru/internal/simtime"
 	"whereru/internal/store"
 )
@@ -316,6 +317,100 @@ func renderStudy(st *core.Study, gen uint64) studyDoc {
 	if len(sweeps) > 0 {
 		doc.FirstSweep = sweeps[0]
 		doc.LastSweep = sweeps[len(sweeps)-1]
+	}
+	return doc
+}
+
+// sweepRow is one day on the collection axis. Measured days carry counts
+// derived from the store's epochs — failed, NXDOMAIN and unreachable
+// re-derive from each day's configs exactly as the sweep classified them
+// — so the endpoint works for loaded stores and replayed journals too.
+// The runtime-only fields (retries, recovered, duration, latency
+// quantiles) come from the live SweepStats when the study collected in
+// this process, and are omitted otherwise.
+type sweepRow struct {
+	Day          simtime.Day `json:"day"`
+	Missing      bool        `json:"missing,omitempty"`
+	Domains      int         `json:"domains"`
+	Failed       int         `json:"failed"`
+	NXDomain     int         `json:"nxdomain"`
+	Unreachable  int         `json:"unreachable"`
+	Retries      int         `json:"retries,omitempty"`
+	Recovered    int         `json:"recovered,omitempty"`
+	DurationMS   int64       `json:"duration_ms,omitempty"`
+	LatencyP50US int64       `json:"latency_p50_us,omitempty"`
+	LatencyP90US int64       `json:"latency_p90_us,omitempty"`
+	LatencyP99US int64       `json:"latency_p99_us,omitempty"`
+}
+
+// sweepsDoc is the /api/v1/sweeps response: every scheduled day, swept
+// and missing, in day order.
+type sweepsDoc struct {
+	Endpoint    string     `json:"endpoint"`
+	Generation  uint64     `json:"generation"`
+	Sweeps      int        `json:"sweeps"`
+	MissingDays int        `json:"missing_days"`
+	Days        []sweepRow `json:"days"`
+}
+
+func renderSweeps(snap *store.Snapshot, missing []simtime.Day, live []openintel.SweepStats, gen uint64) sweepsDoc {
+	days := snap.Sweeps()
+	nd := len(days)
+	// Difference arrays over the day axis: each (domain, epoch) covers a
+	// contiguous [lo, hi) day range, so per-day counts accumulate in one
+	// epoch pass instead of one full-store pass per day.
+	measured := make([]int, nd+1)
+	failed := make([]int, nd+1)
+	nxdomain := make([]int, nd+1)
+	unreachable := make([]int, nd+1)
+	snap.ForEachEpochIn(days, func(_ string, cfg store.Config, lo, hi int) {
+		measured[lo]++
+		measured[hi]--
+		switch {
+		case cfg.Failed:
+			failed[lo]++
+			failed[hi]--
+		case len(cfg.NSHosts) == 0:
+			nxdomain[lo]++
+			nxdomain[hi]--
+		case len(cfg.NSAddrs) == 0:
+			unreachable[lo]++
+			unreachable[hi]--
+		}
+	})
+
+	liveByDay := make(map[simtime.Day]openintel.SweepStats, len(live))
+	for _, st := range live {
+		liveByDay[st.Day] = st
+	}
+
+	doc := sweepsDoc{Endpoint: "sweeps", Generation: gen, Sweeps: nd, MissingDays: len(missing)}
+	doc.Days = make([]sweepRow, 0, nd+len(missing))
+	var mCum, fCum, nCum, uCum int
+	mi := 0
+	for i, day := range days {
+		for mi < len(missing) && missing[mi] < day {
+			doc.Days = append(doc.Days, sweepRow{Day: missing[mi], Missing: true})
+			mi++
+		}
+		mCum += measured[i]
+		fCum += failed[i]
+		nCum += nxdomain[i]
+		uCum += unreachable[i]
+		row := sweepRow{Day: day, Domains: mCum, Failed: fCum, NXDomain: nCum, Unreachable: uCum}
+		if st, ok := liveByDay[day]; ok {
+			row.Retries = st.Retries
+			row.Recovered = st.Recovered
+			row.DurationMS = st.Duration.Milliseconds()
+			row.LatencyP50US = st.LatencyP50.Microseconds()
+			row.LatencyP90US = st.LatencyP90.Microseconds()
+			row.LatencyP99US = st.LatencyP99.Microseconds()
+		}
+		doc.Days = append(doc.Days, row)
+	}
+	for mi < len(missing) {
+		doc.Days = append(doc.Days, sweepRow{Day: missing[mi], Missing: true})
+		mi++
 	}
 	return doc
 }

@@ -158,6 +158,7 @@ func TestEndpointsGolden(t *testing.T) {
 		{"/api/v1/movement?asn=197695&from=2022-02-24", renderMovement(
 			st.Movement(197695, simtime.ConflictStart), gen)},
 		{"/api/v1/study", renderStudy(st, gen)},
+		{"/api/v1/sweeps", renderSweeps(st.Store.Snapshot(), st.Store.MissingSweeps(), st.Stats, gen)},
 	}
 	for _, c := range cases {
 		t.Run(c.path, func(t *testing.T) {
@@ -479,5 +480,86 @@ func TestCacheEviction(t *testing.T) {
 	close(e3.ready)
 	if _, lead := c.lookup(k3); !lead {
 		t.Error("failed entry stayed cached")
+	}
+}
+
+// TestSweepsEndpointContent exercises /api/v1/sweeps on a study with a
+// dropped collection day: swept days carry per-day config tallies and
+// the live runtime stats, the dropped day appears interleaved in day
+// order as missing, and replayed-style rows (no runtime stats) omit the
+// duration fields entirely.
+func TestSweepsEndpointContent(t *testing.T) {
+	dropped := simtime.Date(2022, 3, 3)
+	opts := core.Options{
+		World:      world.Config{Seed: 5, Scale: 20000, RFShare: 0.1},
+		DenseStep:  7,
+		CollectMX:  true,
+		StudyStart: simtime.Date(2022, 2, 17),
+		StudyEnd:   simtime.Date(2022, 3, 17),
+		DropSweeps: []simtime.Day{dropped},
+	}
+	st, err := core.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := get(t, ts.URL+"/api/v1/sweeps")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Sweeps      int  `json:"sweeps"`
+		MissingDays int  `json:"missing_days"`
+		Days        []struct {
+			Day        string `json:"day"`
+			Missing    bool   `json:"missing"`
+			Domains    int    `json:"domains"`
+			DurationMS int64  `json:"duration_ms"`
+		} `json:"days"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("unmarshal: %v\nbody: %s", err, body)
+	}
+	if doc.MissingDays != 1 {
+		t.Errorf("missing_days = %d, want 1", doc.MissingDays)
+	}
+	if doc.Sweeps != len(st.Sweeps) {
+		t.Errorf("sweeps = %d, want %d", doc.Sweeps, len(st.Sweeps))
+	}
+	if len(doc.Days) != doc.Sweeps+doc.MissingDays {
+		t.Fatalf("%d day rows, want %d", len(doc.Days), doc.Sweeps+doc.MissingDays)
+	}
+	prev := ""
+	sawMissing := false
+	for _, row := range doc.Days {
+		if row.Day <= prev {
+			t.Errorf("day rows out of order: %s after %s", row.Day, prev)
+		}
+		prev = row.Day
+		if row.Missing {
+			sawMissing = true
+			if row.Day != dropped.String() {
+				t.Errorf("unexpected missing day %s", row.Day)
+			}
+			if row.Domains != 0 || row.DurationMS != 0 {
+				t.Errorf("missing day carries measurements: %+v", row)
+			}
+			continue
+		}
+		if row.Domains == 0 {
+			t.Errorf("swept day %s reports zero domains", row.Day)
+		}
+		if row.DurationMS < 0 {
+			t.Errorf("swept day %s has negative duration", row.Day)
+		}
+	}
+	if !sawMissing {
+		t.Error("dropped day never surfaced as missing")
 	}
 }

@@ -133,6 +133,7 @@ func endpointList() []string {
 		"/api/v1/hosting",
 		"/api/v1/movement?asn=&from=",
 		"/api/v1/domains/{name}/timeline",
+		"/api/v1/sweeps",
 		"/api/v1/study",
 		"/healthz",
 		"/metrics",
@@ -148,6 +149,7 @@ func (s *Server) routes() {
 	s.handle("GET /api/v1/hosting", "hosting", s.handleHosting)
 	s.handle("GET /api/v1/movement", "movement", s.handleMovement)
 	s.handle("GET /api/v1/domains/{name}/timeline", "timeline", s.handleTimeline)
+	s.handle("GET /api/v1/sweeps", "sweeps", s.handleSweeps)
 	s.handle("GET /api/v1/study", "study", s.handleStudy)
 	s.handle("GET /healthz", "healthz", s.handleHealthz)
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
@@ -505,6 +507,12 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		doc.FirstSeen = doc.Epochs[0].From
 		doc.LastSeen = doc.Epochs[len(doc.Epochs)-1].To
 		return doc, nil
+	})
+}
+
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	s.serveCached(w, r, "sweeps", "", func(gen uint64) (any, error) {
+		return renderSweeps(s.snapshot(gen), s.study.Store.MissingSweeps(), s.study.Stats, gen), nil
 	})
 }
 

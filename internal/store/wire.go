@@ -1,0 +1,82 @@
+package store
+
+import (
+	"fmt"
+
+	"whereru/internal/simtime"
+)
+
+// Measurement batches are the store's third wire surface (after the store
+// file and the sweep journal): one sweep day's observations for a
+// contiguous slice of the zone inventory, serialized in the same
+// domain+config layout the journal uses. internal/grid streams these
+// between workers and the coordinator; keeping the codec here means the
+// grid protocol cannot drift from the formats the store can persist.
+//
+// Layout:
+//
+//	day i32 | count u32 | per measurement: domain str | config
+//
+// (the codec's config layout: failed u8 | nsHosts | nsAddrs | apexAddrs |
+// mxHosts). The batch carries no framing or checksum of its own — the
+// transport that embeds it is responsible for integrity, exactly as the
+// journal's segment framing is for journal payloads.
+
+// maxBatchBytes bounds one encoded batch; it matches the journal's
+// segment limit, which a full-scale sweep already fits inside.
+const maxBatchBytes = maxJournalSegment
+
+// EncodeMeasurementBatch serializes one day's measurements in the order
+// given (callers that need a canonical order sort by domain first). Every
+// measurement must carry the batch day; configs are normalized in place.
+func EncodeMeasurementBatch(day simtime.Day, ms []Measurement) ([]byte, error) {
+	var e encoder
+	e.i32(int32(day))
+	e.u32(len(ms), "batch measurement count")
+	for _, m := range ms {
+		if m.Day != day {
+			return nil, fmt.Errorf("store: batch for %s holds a measurement for %s (%s)", day, m.Day, m.Domain)
+		}
+		e.str(m.Domain, "batch measurement domain")
+		e.config(m.Config.Normalize(), m.Domain)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.buf.Len() > maxBatchBytes {
+		return nil, fmt.Errorf("store: batch for %s is %d bytes (limit %d)", day, e.buf.Len(), maxBatchBytes)
+	}
+	return e.buf.Bytes(), nil
+}
+
+// DecodeMeasurementBatch parses a batch written by EncodeMeasurementBatch.
+// Every count is validated against the bytes actually present before
+// anything is allocated, and trailing garbage is rejected — the same
+// strictness the journal decoder applies to its payloads.
+func DecodeMeasurementBatch(b []byte) (simtime.Day, []Measurement, error) {
+	if len(b) > maxBatchBytes {
+		return 0, nil, corrupt("batch: %d bytes exceeds limit %d", len(b), maxBatchBytes)
+	}
+	r := &byteReader{b: b}
+	day := simtime.Day(r.i32("batch day"))
+	// Minimum measurement: name length (2) + failed (1) + 4 counts (8).
+	n := r.count32(11, "batch measurement")
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	ms := make([]Measurement, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		var m Measurement
+		m.Domain = r.str("batch measurement domain")
+		m.Day = day
+		m.Config = r.config(m.Domain)
+		ms = append(ms, m)
+	}
+	if r.err == nil && r.remaining() != 0 {
+		r.fail("batch: %d trailing bytes", r.remaining())
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	return day, ms, nil
+}
