@@ -726,6 +726,7 @@ func (c *Coordinator) localExecutor(ctx context.Context, day simtime.Day, seeds 
 		u.seq = c.seq
 		u.owner = nil // local: the monitor never expires ownerless leases
 		u.started = time.Now()
+		seq := u.seq
 		start, end := u.start, u.end
 		c.mu.Unlock()
 
@@ -735,21 +736,38 @@ func (c *Coordinator) localExecutor(ctx context.Context, day simtime.Day, seeds 
 			return
 		}
 
-		c.mu.Lock()
-		u.out = &unitOutcome{
-			ms:          res.Measurements,
-			failed:      res.Failed,
-			nxdomain:    res.NXDomain,
-			unreachable: res.Unreachable,
-			retries:     res.Retries,
-			recovered:   res.Recovered,
-			latency:     res.Latency,
-		}
-		u.state = unitDone
-		c.sweep.done++
-		c.metrics.add(&c.metrics.unitsLocal, 1)
-		c.metrics.observeUnit(time.Since(u.started))
-		c.cond.Broadcast()
-		c.mu.Unlock()
+		c.recordLocal(u, seq, res)
 	}
+}
+
+// recordLocal merges a locally measured unit — unless the unit was
+// finished while MeasureUnit ran. A worker result answering an expired
+// lease can land in handleResult mid-measurement and close the unit;
+// recording on top of that would increment sweep.done twice for one
+// unit, letting SweepDay's wait loop exit with other units still open
+// (and their nil out dereferenced in the merge). The seq check equally
+// rejects recording if the local lease was ever superseded.
+func (c *Coordinator) recordLocal(u *unit, seq uint64, res openintel.UnitResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sweep == nil || u.state != unitLeased || u.owner != nil || u.seq != seq {
+		// Lost the race: unit content is deterministic, so the local
+		// measurement is an exact duplicate of whatever was merged.
+		c.metrics.add(&c.metrics.duplicateUnits, 1)
+		return
+	}
+	u.out = &unitOutcome{
+		ms:          res.Measurements,
+		failed:      res.Failed,
+		nxdomain:    res.NXDomain,
+		unreachable: res.Unreachable,
+		retries:     res.Retries,
+		recovered:   res.Recovered,
+		latency:     res.Latency,
+	}
+	u.state = unitDone
+	c.sweep.done++
+	c.metrics.add(&c.metrics.unitsLocal, 1)
+	c.metrics.observeUnit(time.Since(u.started))
+	c.cond.Broadcast()
 }

@@ -1,0 +1,106 @@
+// White-box tests for lease-state edge cases that external tests cannot
+// reach deterministically (package grid_test drives full studies; this
+// file pokes the coordinator's state machine directly).
+package grid
+
+import (
+	"testing"
+	"time"
+
+	"whereru/internal/openintel"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+)
+
+// TestLocalLeaseSurvivesStaleWorkerResult pins the at-most-once merge
+// guarantee for the hung-worker/lease-expiry scenario: a unit is leased
+// to the local executor when a worker's result for an earlier, expired
+// lease of the same unit arrives. handleResult may merge the stale
+// result (unit content is deterministic), but when the local
+// measurement finishes afterwards it must NOT record again — a second
+// sweep.done increment would let SweepDay's wait loop exit with other
+// units still open and a nil out in the merge.
+func TestLocalLeaseSurvivesStaleWorkerResult(t *testing.T) {
+	day := simtime.Date(2022, 2, 24)
+	ms := []store.Measurement{
+		{Domain: "a.xn--p1ai", Day: day},
+		{Domain: "b.ru", Day: day},
+	}
+	batch, err := store.EncodeMeasurementBatch(day, ms)
+	if err != nil {
+		t.Fatalf("EncodeMeasurementBatch: %v", err)
+	}
+
+	c := NewCoordinator(nil)
+	units := []*unit{{idx: 0, start: 0, end: 2}, {idx: 1, start: 2, end: 4}}
+	c.sweep = &sweepState{day: day, units: units}
+
+	// An expired worker lease (seq 1) requeued the unit...
+	c.seq++
+	staleSeq := c.seq
+
+	// ...and the local executor holds the current lease (seq 2, owner
+	// nil), exactly as localExecutor sets it up before MeasureUnit.
+	c.seq++
+	u := units[0]
+	u.state = unitLeased
+	u.seq = c.seq
+	u.owner = nil
+	u.started = time.Now()
+	localSeq := u.seq
+
+	// The quiet worker answers its expired lease while the local
+	// measurement is still running: merged as a stale-but-usable result.
+	w := &workerConn{name: "late"}
+	if err := c.handleResult(w, resultMsg{Unit: 0, Seq: staleSeq, Day: day, Batch: batch}); err != nil {
+		t.Fatalf("handleResult: %v", err)
+	}
+	if u.state != unitDone {
+		t.Fatalf("unit state = %d after stale result, want unitDone", u.state)
+	}
+	if c.sweep.done != 1 {
+		t.Fatalf("sweep.done = %d after stale result, want 1", c.sweep.done)
+	}
+
+	// The local measurement lands afterwards: it must be dropped as a
+	// duplicate, not double-counted.
+	c.recordLocal(u, localSeq, openintel.UnitResult{Measurements: ms})
+	if c.sweep.done != 1 {
+		t.Fatalf("sweep.done = %d after duplicate local record, want 1 (double-completion)", c.sweep.done)
+	}
+
+	snap := c.Metrics().Snapshot()
+	if snap["grid_stale_results_total"] != 1 {
+		t.Errorf("grid_stale_results_total = %d, want 1", snap["grid_stale_results_total"])
+	}
+	if snap["grid_duplicate_units_total"] != 1 {
+		t.Errorf("grid_duplicate_units_total = %d, want 1", snap["grid_duplicate_units_total"])
+	}
+	if snap["grid_units_local_total"] != 0 {
+		t.Errorf("grid_units_local_total = %d, want 0 (local result was a duplicate)", snap["grid_units_local_total"])
+	}
+}
+
+// TestRecordLocalFresh: the ordinary path — nobody raced the local
+// executor — still records exactly once.
+func TestRecordLocalFresh(t *testing.T) {
+	day := simtime.Date(2022, 2, 24)
+	c := NewCoordinator(nil)
+	u := &unit{idx: 0, start: 0, end: 2}
+	c.sweep = &sweepState{day: day, units: []*unit{u}}
+
+	c.seq++
+	u.state = unitLeased
+	u.seq = c.seq
+	u.started = time.Now()
+
+	c.recordLocal(u, u.seq, openintel.UnitResult{Measurements: []store.Measurement{
+		{Domain: "a.ru", Day: day}, {Domain: "b.ru", Day: day},
+	}})
+	if u.state != unitDone || c.sweep.done != 1 || u.out == nil {
+		t.Fatalf("fresh local record not merged: state=%d done=%d out=%v", u.state, c.sweep.done, u.out)
+	}
+	if snap := c.Metrics().Snapshot(); snap["grid_units_local_total"] != 1 {
+		t.Errorf("grid_units_local_total = %d, want 1", snap["grid_units_local_total"])
+	}
+}

@@ -61,8 +61,14 @@ func (m *Metrics) workerDelta(d int64) {
 	m.mu.Unlock()
 }
 
-// Snapshot returns the counters as a name→value map (histogram buckets
-// keyed grid_unit_seconds_bucket_<n>).
+// Snapshot returns the counters as a name→value map. The per-unit
+// latency histogram follows Prometheus histogram shape: cumulative
+// buckets keyed by their upper bound in microseconds
+// (grid_unit_duration_microseconds_bucket_le_<bound>, bounds zero-padded
+// so lexical order is numeric order; the overflow bucket is
+// ..._bucket_le_inf) plus the total observation count in
+// grid_unit_duration_microseconds_count. Emitted only once a unit has
+// been observed.
 func (m *Metrics) Snapshot() map[string]uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -78,10 +84,20 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		"grid_worker_failures_total":  m.workerFailures,
 		"grid_workers_live":           uint64(m.workersLive),
 	}
-	for i, c := range m.unitLatency.Counts {
-		if c > 0 {
-			out[fmt.Sprintf("grid_unit_seconds_bucket_%d", i)] = uint64(c)
+	if m.unitLatency.Total() > 0 {
+		// Bucket i of LatencyHistogram holds durations in
+		// (2^(i-1), 2^i] microseconds; the last bucket is overflow.
+		last := len(m.unitLatency.Counts) - 1
+		var cum uint64
+		for i, c := range m.unitLatency.Counts {
+			cum += uint64(c)
+			if i == last {
+				out["grid_unit_duration_microseconds_bucket_le_inf"] = cum
+			} else {
+				out[fmt.Sprintf("grid_unit_duration_microseconds_bucket_le_%07d", uint64(1)<<i)] = cum
+			}
 		}
+		out["grid_unit_duration_microseconds_count"] = cum
 	}
 	return out
 }

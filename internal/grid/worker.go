@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"whereru/internal/openintel"
@@ -227,7 +228,10 @@ func (w *Worker) heartbeatLoop(conn *framedConn, hung *atomic.Bool, stop <-chan 
 }
 
 // dialRetry dials addr, retrying refused connections for DialRetryFor so
-// worker processes may start ahead of the coordinator.
+// worker processes may start ahead of the coordinator. Only
+// ECONNREFUSED is retried — nobody listening yet is the one condition
+// startup ordering explains; any other dial error (bad address, DNS
+// failure, unreachable network) is misconfiguration and fails fast.
 func (w *Worker) dialRetry(ctx context.Context, addr string) (net.Conn, error) {
 	dial := w.Dial
 	if dial == nil {
@@ -249,7 +253,7 @@ func (w *Worker) dialRetry(ctx context.Context, addr string) (net.Conn, error) {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		if time.Now().After(deadline) {
+		if !errors.Is(err, syscall.ECONNREFUSED) || time.Now().After(deadline) {
 			return nil, err
 		}
 		select {
