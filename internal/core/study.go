@@ -102,6 +102,12 @@ type Options struct {
 	// address before workers are awaited — how tests and operators learn
 	// the port when GridListen used port 0.
 	OnGridListen func(addr string)
+	// ReferenceResolver routes every in-memory exchange through the
+	// preserved reference wire codec and disables cache-miss coalescing:
+	// the resolver stack exactly as it was before the fast path. The
+	// equivalence tests run whole studies both ways and byte-compare
+	// store, report, and journal output; production runs leave it off.
+	ReferenceResolver bool
 	// Progress, if non-nil, receives human-readable progress lines.
 	Progress func(format string, args ...any)
 }
@@ -245,6 +251,10 @@ func measurementResolver(opts Options, w *world.World, outages *netsim.OutageSch
 			w.ScheduleRegistryOutage(ft, profile, simtime.OneDay(simtime.MeasurementOutage), outages)
 		}
 		resolver = r
+	}
+	if opts.ReferenceResolver {
+		w.Mem.SetReferenceCodec(true)
+		resolver.Cache().DisableCoalescing()
 	}
 	return resolver
 }

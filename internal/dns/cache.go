@@ -1,0 +1,216 @@
+package dns
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+)
+
+// InfraCache holds the resolver's infrastructure state: the delegation
+// cache (zone cut → authoritative addresses), the host cache (name-server
+// name → addresses, positive and negative), and the singleflight table
+// that coalesces concurrent host-cache misses. It is safe for concurrent
+// use and can be shared by several Resolvers — the ZDNS design, where all
+// sweep workers feed one cache so a big provider's NS set is resolved
+// once per sweep rather than once per worker (or once per domain).
+//
+// Sharing cannot change measured answers: in the simulated world a
+// response is a pure function of (question, day), so a cached value is
+// bit-identical to what a fresh resolution would return. Only the
+// counters (and upstream query volume) depend on scheduling.
+type InfraCache struct {
+	mu      sync.RWMutex
+	gen     uint64 // bumped by Flush; in-flight results from older generations are not stored
+	zones   map[string][]netip.Addr
+	hosts   map[string][]netip.Addr
+	hostNeg map[string]bool
+	flights map[string]*hostFlight
+
+	// coalesce enables singleflight on host-cache misses. Disabled, every
+	// miss resolves upstream independently — the original resolver
+	// behavior, kept for the reference oracle path. Set at construction.
+	coalesce bool
+
+	zoneHits, zoneMisses            atomic.Int64
+	hostHits, hostMisses, coalesced atomic.Int64
+}
+
+// hostFlight is one in-flight host resolution; waiters block on done and
+// then read addrs/err (the close provides the happens-before edge).
+type hostFlight struct {
+	done  chan struct{}
+	addrs []netip.Addr
+	err   error
+}
+
+// NewInfraCache returns an empty cache with miss coalescing enabled.
+func NewInfraCache() *InfraCache {
+	return &InfraCache{
+		zones:    make(map[string][]netip.Addr),
+		hosts:    make(map[string][]netip.Addr),
+		hostNeg:  make(map[string]bool),
+		flights:  make(map[string]*hostFlight),
+		coalesce: true,
+	}
+}
+
+// DisableCoalescing turns off singleflight on host-cache misses,
+// restoring the original resolver's independent-miss behavior. Intended
+// to be called once, before the cache is in use.
+func (c *InfraCache) DisableCoalescing() {
+	c.mu.Lock()
+	c.coalesce = false
+	c.mu.Unlock()
+}
+
+// Flush drops every cached entry (including negative entries) and
+// detaches in-flight resolutions: their waiters are still answered, but
+// their results — begun against the pre-flush world — are not stored.
+func (c *InfraCache) Flush() {
+	c.mu.Lock()
+	c.gen++
+	c.zones = make(map[string][]netip.Addr)
+	c.hosts = make(map[string][]netip.Addr)
+	c.hostNeg = make(map[string]bool)
+	c.flights = make(map[string]*hostFlight)
+	c.mu.Unlock()
+}
+
+// CacheStats is a point-in-time view of cache sizes and cumulative
+// lookup counters (monotonic over the cache's lifetime; Flush does not
+// reset them — consumers take deltas, like ClientStats).
+type CacheStats struct {
+	// Zones and Hosts are current entry counts.
+	Zones, Hosts int
+	// ZoneHits/ZoneMisses count delegation-cache walks: a hit found a
+	// cached zone cut to start from, a miss fell back to the roots.
+	ZoneHits, ZoneMisses int64
+	// HostHits/HostMisses count host-cache lookups (hits include
+	// negative-cache hits); Coalesced counts lookups that piggybacked on
+	// an in-flight identical resolution instead of going upstream.
+	HostHits, HostMisses, Coalesced int64
+}
+
+// Hits and Misses aggregate the per-layer counters.
+func (s CacheStats) Hits() int64   { return s.ZoneHits + s.HostHits }
+func (s CacheStats) Misses() int64 { return s.ZoneMisses + s.HostMisses }
+
+// Stats returns current sizes and counters.
+func (c *InfraCache) Stats() CacheStats {
+	c.mu.RLock()
+	zones, hosts := len(c.zones), len(c.hosts)
+	c.mu.RUnlock()
+	return CacheStats{
+		Zones:      zones,
+		Hosts:      hosts,
+		ZoneHits:   c.zoneHits.Load(),
+		ZoneMisses: c.zoneMisses.Load(),
+		HostHits:   c.hostHits.Load(),
+		HostMisses: c.hostMisses.Load(),
+		Coalesced:  c.coalesced.Load(),
+	}
+}
+
+// deepestCut finds the closest enclosing cached zone cut for name,
+// falling back to the given roots.
+func (c *InfraCache) deepestCut(name string, roots []netip.Addr) ([]netip.Addr, string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for n := name; n != "."; n = Parent(n) {
+		if addrs, ok := c.zones[n]; ok && len(addrs) > 0 {
+			c.zoneHits.Add(1)
+			return addrs, n
+		}
+	}
+	c.zoneMisses.Add(1)
+	return roots, "."
+}
+
+func (c *InfraCache) storeZone(zone string, addrs []netip.Addr) {
+	c.mu.Lock()
+	c.zones[zone] = addrs
+	c.mu.Unlock()
+}
+
+func (c *InfraCache) dropZone(zone string) {
+	c.mu.Lock()
+	delete(c.zones, zone)
+	c.mu.Unlock()
+}
+
+func (c *InfraCache) storeHost(host string, addrs []netip.Addr) {
+	c.mu.Lock()
+	c.hosts[host] = addrs
+	c.mu.Unlock()
+}
+
+// lookupHost consults the positive and negative host caches. The second
+// return distinguishes a positive hit (true, even with an empty address
+// set) from a miss; neg reports a negative-cache hit.
+func (c *InfraCache) lookupHost(host string) (addrs []netip.Addr, ok, neg bool) {
+	c.mu.RLock()
+	addrs, ok = c.hosts[host]
+	neg = c.hostNeg[host]
+	c.mu.RUnlock()
+	return addrs, ok, neg
+}
+
+// joinOrLead decides a miss's fate under coalescing: either joins an
+// in-flight resolution for host (lead=false) or registers a new flight
+// it must complete (lead=true, with the generation to hand back to
+// completeHost). A cache hit that raced in between is returned like
+// lookupHost's.
+func (c *InfraCache) joinOrLead(host string) (fl *hostFlight, lead bool, gen uint64, addrs []netip.Addr, ok, neg bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if addrs, ok = c.hosts[host]; ok {
+		return nil, false, 0, addrs, true, false
+	}
+	if c.hostNeg[host] {
+		return nil, false, 0, nil, false, true
+	}
+	if !c.coalesce {
+		return nil, true, c.gen, nil, false, false
+	}
+	if fl = c.flights[host]; fl != nil {
+		return fl, false, 0, nil, false, false
+	}
+	fl = &hostFlight{done: make(chan struct{})}
+	c.flights[host] = fl
+	return fl, true, c.gen, nil, false, false
+}
+
+// completeHost finishes a led flight: stores the outcome (unless the
+// cache was flushed since the flight began, or the failure was only the
+// caller's context dying) and wakes the waiters. fl is nil when
+// coalescing is off — then only the store happens.
+func (c *InfraCache) completeHost(host string, fl *hostFlight, gen uint64, addrs []netip.Addr, err error, ctxDead bool) {
+	c.mu.Lock()
+	if fl != nil && c.flights[host] == fl {
+		delete(c.flights, host)
+	}
+	if c.gen == gen {
+		if err == nil {
+			c.hosts[host] = addrs
+		} else if !ctxDead {
+			// A dead name-server host costs one resolution per sweep, not
+			// one per delegated domain.
+			c.hostNeg[host] = true
+		}
+	}
+	c.mu.Unlock()
+	if fl != nil {
+		fl.addrs, fl.err = addrs, err
+		close(fl.done)
+	}
+}
+
+// isContextErr reports whether err is (or wraps) a context cancellation
+// or deadline — failures that describe the leader's context, not the
+// looked-up host, and so must not be adopted by waiters with live
+// contexts.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

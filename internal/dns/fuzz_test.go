@@ -43,9 +43,9 @@ func FuzzDecode(f *testing.F) {
 		}
 		re, err := m.Encode()
 		if err != nil {
-			// Messages with decoded-but-unencodable payloads (e.g. opaque
-			// RDATA carried as TXT) are acceptable; they must only fail
-			// cleanly.
+			// Messages with decoded-but-unencodable payloads (e.g. an A
+			// record whose address failed to parse) are acceptable; they
+			// must only fail cleanly.
 			return
 		}
 		m2, err := Decode(re)

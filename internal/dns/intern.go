@@ -1,0 +1,187 @@
+package dns
+
+import (
+	"net/netip"
+	"sync"
+)
+
+// The sweep hot path decodes the same small set of infrastructure names
+// and record payloads millions of times: every referral repeats the
+// registry's NS hosts, every glued answer repeats the same few provider
+// addresses. wireIntern dedups those across messages so a steady-state
+// decode materializes no new strings and boxes no new RData values.
+// Interning is invisible to callers — it only returns values equal to
+// what a fresh decode would build — so it cannot perturb measurements.
+//
+// Tables are bounded; once full, lookups still hit existing entries and
+// misses simply allocate like an intern-free decode. A MemNet carries
+// one intern for its lifetime: the simulated world's name population is
+// fixed and far below the bounds.
+
+const (
+	maxInternNames = 1 << 16
+	maxInternData  = 1 << 15
+)
+
+type wireIntern struct {
+	mu    sync.RWMutex
+	names map[uint64]string // FNV-1a(name bytes) -> name
+	a     map[netip.Addr]RData
+	aaaa  map[netip.Addr]RData
+	ns    map[string]RData
+	cname map[string]RData
+	soa   map[SOAData]RData
+	mx    map[MXData]RData
+}
+
+func newWireIntern() *wireIntern {
+	return &wireIntern{
+		names: make(map[uint64]string),
+		a:     make(map[netip.Addr]RData),
+		aaaa:  make(map[netip.Addr]RData),
+		ns:    make(map[string]RData),
+		cname: make(map[string]RData),
+		soa:   make(map[SOAData]RData),
+		mx:    make(map[MXData]RData),
+	}
+}
+
+// name returns a string equal to b, reusing a previously interned copy
+// when possible. Hash collisions fall back to a fresh allocation (the
+// first-comer keeps the slot), preserving correctness.
+func (w *wireIntern) name(b []byte) string {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	w.mu.RLock()
+	s, ok := w.names[h]
+	w.mu.RUnlock()
+	if ok && s == string(b) { // comparison does not allocate
+		return s
+	}
+	out := string(b)
+	if !ok {
+		w.mu.Lock()
+		if _, dup := w.names[h]; !dup && len(w.names) < maxInternNames {
+			w.names[h] = out
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+func (w *wireIntern) aData(addr netip.Addr) RData {
+	w.mu.RLock()
+	d, ok := w.a[addr]
+	w.mu.RUnlock()
+	if ok {
+		return d
+	}
+	d = AData{addr}
+	w.mu.Lock()
+	if len(w.a) < maxInternData {
+		w.a[addr] = d
+	}
+	w.mu.Unlock()
+	return d
+}
+
+func (w *wireIntern) aaaaData(addr netip.Addr) RData {
+	w.mu.RLock()
+	d, ok := w.aaaa[addr]
+	w.mu.RUnlock()
+	if ok {
+		return d
+	}
+	d = AAAAData{addr}
+	w.mu.Lock()
+	if len(w.aaaa) < maxInternData {
+		w.aaaa[addr] = d
+	}
+	w.mu.Unlock()
+	return d
+}
+
+func (w *wireIntern) nsData(host string) RData {
+	w.mu.RLock()
+	d, ok := w.ns[host]
+	w.mu.RUnlock()
+	if ok {
+		return d
+	}
+	d = NSData{host}
+	w.mu.Lock()
+	if len(w.ns) < maxInternData {
+		w.ns[host] = d
+	}
+	w.mu.Unlock()
+	return d
+}
+
+func (w *wireIntern) cnameData(target string) RData {
+	w.mu.RLock()
+	d, ok := w.cname[target]
+	w.mu.RUnlock()
+	if ok {
+		return d
+	}
+	d = CNAMEData{target}
+	w.mu.Lock()
+	if len(w.cname) < maxInternData {
+		w.cname[target] = d
+	}
+	w.mu.Unlock()
+	return d
+}
+
+func (w *wireIntern) soaData(soa SOAData) RData {
+	w.mu.RLock()
+	d, ok := w.soa[soa]
+	w.mu.RUnlock()
+	if ok {
+		return d
+	}
+	var rd RData = soa
+	w.mu.Lock()
+	if len(w.soa) < maxInternData {
+		w.soa[soa] = rd
+	}
+	w.mu.Unlock()
+	return rd
+}
+
+func (w *wireIntern) mxData(mx MXData) RData {
+	w.mu.RLock()
+	d, ok := w.mx[mx]
+	w.mu.RUnlock()
+	if ok {
+		return d
+	}
+	var rd RData = mx
+	w.mu.Lock()
+	if len(w.mx) < maxInternData {
+		w.mx[mx] = rd
+	}
+	w.mu.Unlock()
+	return rd
+}
+
+// wirePool recycles wire-format buffers across exchanges. Decoded
+// messages never alias these buffers (decodeWith copies everything out),
+// so returning one after decode is safe.
+var wirePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+func getWireBuf() *[]byte { return wirePool.Get().(*[]byte) }
+
+func putWireBuf(b *[]byte) {
+	// Messages are capped at maxMsgSize; anything larger is a stray
+	// oversized read buffer not worth keeping.
+	if cap(*b) <= maxMsgSize+2 {
+		wirePool.Put(b)
+	}
+}

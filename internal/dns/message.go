@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+	"sync"
 )
 
 // Header is the fixed 12-octet DNS message header (RFC 1035 §4.1.1),
@@ -98,68 +99,13 @@ const (
 	MaxUDPPayload = 512
 	// maxMsgSize is the hard cap accepted by Encode.
 	maxMsgSize = 65535
+	// maxCount is the sanity bound on total record counts in a decoded
+	// message, against hostile headers.
+	maxCount = 1024
 )
 
-type wireBuilder struct {
-	buf      []byte
-	nameOffs map[string]int // canonical name -> offset of its first encoding
-}
-
-// appendCompressedName writes name using RFC 1035 compression pointers:
-// the longest previously-written suffix is referenced with a 2-octet
-// pointer, and only the new leading labels are written literally.
-func (w *wireBuilder) appendCompressedName(name string) error {
-	if !ValidName(name) {
-		return fmt.Errorf("dns: invalid name %q", name)
-	}
-	labels := Labels(name)
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
-		if off, ok := w.nameOffs[suffix]; ok && off < 0x3FFF {
-			w.buf = append(w.buf, 0xC0|byte(off>>8), byte(off))
-			return nil
-		}
-		if len(w.buf) < 0x3FFF {
-			w.nameOffs[suffix] = len(w.buf)
-		}
-		w.buf = append(w.buf, byte(len(labels[i])))
-		w.buf = append(w.buf, labels[i]...)
-	}
-	w.buf = append(w.buf, 0)
-	return nil
-}
-
-func (w *wireBuilder) appendUint16(v uint16) { w.buf = append(w.buf, byte(v>>8), byte(v)) }
-func (w *wireBuilder) appendUint32(v uint32) {
-	w.buf = append(w.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
-}
-
-func (w *wireBuilder) appendRR(rr RR) error {
-	if err := w.appendCompressedName(rr.Name); err != nil {
-		return err
-	}
-	w.appendUint16(uint16(rr.Type))
-	w.appendUint16(uint16(rr.Class))
-	w.appendUint32(rr.TTL)
-	lenOff := len(w.buf)
-	w.appendUint16(0) // placeholder RDLENGTH
-	var err error
-	w.buf, err = rr.Data.appendWire(w.buf)
-	if err != nil {
-		return err
-	}
-	rdlen := len(w.buf) - lenOff - 2
-	if rdlen > 0xFFFF {
-		return fmt.Errorf("dns: RDATA too long (%d octets)", rdlen)
-	}
-	w.buf[lenOff] = byte(rdlen >> 8)
-	w.buf[lenOff+1] = byte(rdlen)
-	return nil
-}
-
-// Encode serializes the message to wire format.
-func (m *Message) Encode() ([]byte, error) {
-	w := &wireBuilder{buf: make([]byte, 0, 512), nameOffs: make(map[string]int)}
+// flags packs the header flag fields into the wire flags word.
+func (m *Message) flags() uint16 {
 	var flags uint16
 	if m.Response {
 		flags |= 1 << 15
@@ -178,39 +124,158 @@ func (m *Message) Encode() ([]byte, error) {
 		flags |= 1 << 7
 	}
 	flags |= uint16(m.RCode & 0xF)
+	return flags
+}
 
-	w.appendUint16(m.ID)
-	w.appendUint16(flags)
-	w.appendUint16(uint16(len(m.Questions)))
-	w.appendUint16(uint16(len(m.Answers)))
-	w.appendUint16(uint16(len(m.Authority)))
-	w.appendUint16(uint16(len(m.Additional)))
+// setFlags unpacks the wire flags word into the header fields.
+func (m *Message) setFlags(flags uint16) {
+	m.Response = flags&(1<<15) != 0
+	m.Opcode = Opcode(flags >> 11 & 0xF)
+	m.Authoritative = flags&(1<<10) != 0
+	m.Truncated = flags&(1<<9) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.RCode = RCode(flags & 0xF)
+}
+
+// nameOffset records that the name suffix was written literally at off
+// (message-relative). Suffixes of a canonical name are substrings of it,
+// so the compression table holds no allocated keys.
+type nameOffset struct {
+	suffix string
+	off    int
+}
+
+// encoder is the reusable state of one message encode: the compression
+// table. Pooled so steady-state encoding allocates nothing.
+type encoder struct {
+	names []nameOffset
+}
+
+var encoderPool = sync.Pool{New: func() any { return new(encoder) }}
+
+// appendCompressedName writes name using RFC 1035 compression pointers,
+// byte-identically to the reference builder: the longest suffix already
+// written (scanning the table in insertion order, so first-write-wins
+// exactly like the reference map) is referenced with a 2-octet pointer,
+// and only the new leading labels are written literally. base is the
+// message's start offset within b.
+func (e *encoder) appendCompressedName(b []byte, base int, name string) ([]byte, error) {
+	if !ValidName(name) {
+		return nil, fmt.Errorf("dns: invalid name %q", name)
+	}
+	if name == "." {
+		return append(b, 0), nil
+	}
+	for pos := 0; pos < len(name); {
+		suffix := name[pos:]
+		off := -1
+		for i := range e.names {
+			if e.names[i].suffix == suffix {
+				off = e.names[i].off
+				break
+			}
+		}
+		if off >= 0 { // recorded offsets are always < 0x3FFF
+			return append(b, 0xC0|byte(off>>8), byte(off)), nil
+		}
+		if len(b)-base < 0x3FFF {
+			e.names = append(e.names, nameOffset{suffix, len(b) - base})
+		}
+		dot := strings.IndexByte(suffix, '.') // ValidName guarantees 1..63
+		b = append(b, byte(dot))
+		b = append(b, suffix[:dot]...)
+		pos += dot + 1
+	}
+	return append(b, 0), nil
+}
+
+func appendUint16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func (e *encoder) appendRR(b []byte, base int, rr RR) ([]byte, error) {
+	b, err := e.appendCompressedName(b, base, rr.Name)
+	if err != nil {
+		return nil, err
+	}
+	b = appendUint16(b, uint16(rr.Type))
+	b = appendUint16(b, uint16(rr.Class))
+	b = appendUint32(b, rr.TTL)
+	lenOff := len(b)
+	b = appendUint16(b, 0) // placeholder RDLENGTH
+	b, err = rr.Data.appendWire(b)
+	if err != nil {
+		return nil, err
+	}
+	rdlen := len(b) - lenOff - 2
+	if rdlen > 0xFFFF {
+		return nil, fmt.Errorf("dns: RDATA too long (%d octets)", rdlen)
+	}
+	b[lenOff] = byte(rdlen >> 8)
+	b[lenOff+1] = byte(rdlen)
+	return b, nil
+}
+
+// AppendEncode appends the wire encoding of m to buf and returns the
+// extended slice. Compression offsets are relative to len(buf), so a
+// message can be appended after framing bytes. This is the allocation-free
+// fast path: with a buffer of sufficient capacity it does not allocate.
+func (m *Message) AppendEncode(buf []byte) ([]byte, error) {
+	e := encoderPool.Get().(*encoder)
+	e.names = e.names[:0]
+	b, err := m.appendEncode(buf, e)
+	encoderPool.Put(e)
+	return b, err
+}
+
+func (m *Message) appendEncode(buf []byte, e *encoder) ([]byte, error) {
+	base := len(buf)
+	b := appendUint16(buf, m.ID)
+	b = appendUint16(b, m.flags())
+	b = appendUint16(b, uint16(len(m.Questions)))
+	b = appendUint16(b, uint16(len(m.Answers)))
+	b = appendUint16(b, uint16(len(m.Authority)))
+	b = appendUint16(b, uint16(len(m.Additional)))
+	var err error
 	for _, q := range m.Questions {
-		if err := w.appendCompressedName(q.Name); err != nil {
+		if b, err = e.appendCompressedName(b, base, q.Name); err != nil {
 			return nil, err
 		}
-		w.appendUint16(uint16(q.Type))
-		w.appendUint16(uint16(q.Class))
+		b = appendUint16(b, uint16(q.Type))
+		b = appendUint16(b, uint16(q.Class))
 	}
-	for _, section := range [][]RR{m.Answers, m.Authority, m.Additional} {
+	for _, section := range [3][]RR{m.Answers, m.Authority, m.Additional} {
 		for _, rr := range section {
-			if err := w.appendRR(rr); err != nil {
+			if b, err = e.appendRR(b, base, rr); err != nil {
 				return nil, err
 			}
 		}
 	}
-	if len(w.buf) > maxMsgSize {
+	if len(b)-base > maxMsgSize {
 		return nil, fmt.Errorf("dns: message exceeds %d octets", maxMsgSize)
 	}
-	return w.buf, nil
+	return b, nil
 }
 
-type wireParser struct {
-	buf []byte
-	pos int
+// Encode serializes the message to wire format in a fresh buffer.
+func (m *Message) Encode() ([]byte, error) {
+	return m.AppendEncode(make([]byte, 0, 512))
 }
 
-func (p *wireParser) uint16() (uint16, error) {
+// parser decodes one message. Names are parsed by offset directly into
+// the packet: labels are copied into the fixed scratch buffer (no
+// intermediate label slices or builders) and materialized as a string
+// once — or not at all when the intern table already holds the name.
+type parser struct {
+	buf     []byte
+	pos     int
+	intern  *wireIntern
+	scratch [256]byte
+}
+
+func (p *parser) uint16() (uint16, error) {
 	if p.pos+2 > len(p.buf) {
 		return 0, ErrTruncatedMessage
 	}
@@ -219,7 +284,7 @@ func (p *wireParser) uint16() (uint16, error) {
 	return v, nil
 }
 
-func (p *wireParser) uint32() (uint32, error) {
+func (p *parser) uint32() (uint32, error) {
 	if p.pos+4 > len(p.buf) {
 		return 0, ErrTruncatedMessage
 	}
@@ -228,10 +293,21 @@ func (p *wireParser) uint32() (uint32, error) {
 	return v, nil
 }
 
+// str materializes decoded name bytes as a string, through the intern
+// table when one is attached.
+func (p *parser) str(b []byte) string {
+	if p.intern != nil {
+		return p.intern.name(b)
+	}
+	return string(b)
+}
+
 // name decodes a possibly-compressed name starting at p.pos, leaving p.pos
-// just past the name's encoding at the top level.
-func (p *wireParser) name() (string, error) {
-	var sb strings.Builder
+// just past the name's encoding at the top level. The checks mirror the
+// reference parser exactly (same order, same bounds) so acceptance is
+// identical; only the string materialization differs.
+func (p *parser) name() (string, error) {
+	n := 0 // presentation bytes accumulated in scratch
 	pos := p.pos
 	jumped := false
 	jumps := 0
@@ -245,14 +321,14 @@ func (p *wireParser) name() (string, error) {
 			if !jumped {
 				p.pos = pos + 1
 			}
-			if sb.Len() == 0 {
+			if n == 0 {
 				return ".", nil
 			}
-			name := sb.String()
-			if !ValidName(name) {
+			name := p.scratch[:n]
+			if !validName(name) {
 				return "", fmt.Errorf("dns: decoded invalid name %q", name)
 			}
-			return name, nil
+			return p.str(name), nil
 		case b&0xC0 == 0xC0:
 			if pos+2 > len(p.buf) {
 				return "", ErrTruncatedMessage
@@ -278,17 +354,19 @@ func (p *wireParser) name() (string, error) {
 			if pos+1+int(b) > len(p.buf) {
 				return "", ErrTruncatedMessage
 			}
-			sb.Write(p.buf[pos+1 : pos+1+int(b)])
-			sb.WriteByte('.')
-			if sb.Len() > 255 {
+			if n+int(b)+1 > 255 {
 				return "", ErrNameTooLong
 			}
+			copy(p.scratch[n:], p.buf[pos+1:pos+1+int(b)])
+			n += int(b)
+			p.scratch[n] = '.'
+			n++
 			pos += 1 + int(b)
 		}
 	}
 }
 
-func (p *wireParser) rr() (RR, error) {
+func (p *parser) rr() (RR, error) {
 	var rr RR
 	name, err := p.name()
 	if err != nil {
@@ -320,26 +398,44 @@ func (p *wireParser) rr() (RR, error) {
 		if rdlen != 4 {
 			return rr, fmt.Errorf("dns: A RDATA length %d", rdlen)
 		}
-		rr.Data = AData{netip.AddrFrom4([4]byte(p.buf[p.pos:rdEnd]))}
+		addr := netip.AddrFrom4([4]byte(p.buf[p.pos:rdEnd]))
+		if p.intern != nil {
+			rr.Data = p.intern.aData(addr)
+		} else {
+			rr.Data = AData{addr}
+		}
 		p.pos = rdEnd
 	case TypeAAAA:
 		if rdlen != 16 {
 			return rr, fmt.Errorf("dns: AAAA RDATA length %d", rdlen)
 		}
-		rr.Data = AAAAData{netip.AddrFrom16([16]byte(p.buf[p.pos:rdEnd]))}
+		addr := netip.AddrFrom16([16]byte(p.buf[p.pos:rdEnd]))
+		if p.intern != nil {
+			rr.Data = p.intern.aaaaData(addr)
+		} else {
+			rr.Data = AAAAData{addr}
+		}
 		p.pos = rdEnd
 	case TypeNS:
 		host, err := p.name()
 		if err != nil {
 			return rr, err
 		}
-		rr.Data = NSData{host}
+		if p.intern != nil {
+			rr.Data = p.intern.nsData(host)
+		} else {
+			rr.Data = NSData{host}
+		}
 	case TypeCNAME:
 		target, err := p.name()
 		if err != nil {
 			return rr, err
 		}
-		rr.Data = CNAMEData{target}
+		if p.intern != nil {
+			rr.Data = p.intern.cnameData(target)
+		} else {
+			rr.Data = CNAMEData{target}
+		}
 	case TypeSOA:
 		var soa SOAData
 		if soa.MName, err = p.name(); err != nil {
@@ -348,12 +444,16 @@ func (p *wireParser) rr() (RR, error) {
 		if soa.RName, err = p.name(); err != nil {
 			return rr, err
 		}
-		for _, dst := range []*uint32{&soa.Serial, &soa.Refresh, &soa.Retry, &soa.Expire, &soa.Minimum} {
+		for _, dst := range [5]*uint32{&soa.Serial, &soa.Refresh, &soa.Retry, &soa.Expire, &soa.Minimum} {
 			if *dst, err = p.uint32(); err != nil {
 				return rr, err
 			}
 		}
-		rr.Data = soa
+		if p.intern != nil {
+			rr.Data = p.intern.soaData(soa)
+		} else {
+			rr.Data = soa
+		}
 	case TypeMX:
 		pref, err := p.uint16()
 		if err != nil {
@@ -363,7 +463,11 @@ func (p *wireParser) rr() (RR, error) {
 		if err != nil {
 			return rr, err
 		}
-		rr.Data = MXData{pref, host}
+		if p.intern != nil {
+			rr.Data = p.intern.mxData(MXData{pref, host})
+		} else {
+			rr.Data = MXData{pref, host}
+		}
 	case TypeOPT:
 		// OPT (EDNS0): the payload size is in Class; options are ignored.
 		p.pos = rdEnd
@@ -380,8 +484,9 @@ func (p *wireParser) rr() (RR, error) {
 		}
 		rr.Data = txt
 	default:
-		// Unknown types are carried opaquely so decoding is lossless.
-		rr.Data = TXTData{Strings: []string{string(p.buf[p.pos:rdEnd])}}
+		// Unknown types are carried opaquely so decoding is lossless and
+		// re-encoding reproduces the original octets (RFC 3597).
+		rr.Data = RawData{Octets: string(p.buf[p.pos:rdEnd])}
 		p.pos = rdEnd
 	}
 	if p.pos != rdEnd {
@@ -391,33 +496,59 @@ func (p *wireParser) rr() (RR, error) {
 }
 
 // Decode parses a wire-format DNS message.
-func Decode(buf []byte) (*Message, error) {
+func Decode(buf []byte) (*Message, error) { return decodeWith(buf, nil) }
+
+// decAllocRRs is how many records fit in a decAlloc; larger messages
+// fall back to separate slice allocations.
+const decAllocRRs = 12
+
+// decAlloc backs one decoded message with a single allocation: the
+// Message plus question and record storage for the common shape (one
+// question, a handful of records). The arrays sit outside the Message
+// itself, so decoded messages compare equal to messages built any other
+// way.
+type decAlloc struct {
+	m   Message
+	q   [1]Question
+	rrs [decAllocRRs]RR
+}
+
+// decodeWith parses a message, sharing strings and RData values through
+// the intern table when one is given. Decoded messages never alias buf —
+// every name and payload is copied out — so callers may recycle the wire
+// buffer immediately.
+func decodeWith(buf []byte, intern *wireIntern) (*Message, error) {
 	if len(buf) < headerLen {
 		return nil, ErrTruncatedMessage
 	}
-	p := &wireParser{buf: buf}
-	m := &Message{}
-	id, _ := p.uint16()
-	flags, _ := p.uint16()
-	qd, _ := p.uint16()
-	an, _ := p.uint16()
-	ns, _ := p.uint16()
-	ar, _ := p.uint16()
+	p := parser{buf: buf, pos: headerLen, intern: intern}
+	qd := int(buf[4])<<8 | int(buf[5])
+	an := int(buf[6])<<8 | int(buf[7])
+	ns := int(buf[8])<<8 | int(buf[9])
+	ar := int(buf[10])<<8 | int(buf[11])
 
-	m.ID = id
-	m.Response = flags&(1<<15) != 0
-	m.Opcode = Opcode(flags >> 11 & 0xF)
-	m.Authoritative = flags&(1<<10) != 0
-	m.Truncated = flags&(1<<9) != 0
-	m.RecursionDesired = flags&(1<<8) != 0
-	m.RecursionAvailable = flags&(1<<7) != 0
-	m.RCode = RCode(flags & 0xF)
-
-	const maxCount = 1024 // sanity bound against hostile counts
-	if int(qd)+int(an)+int(ns)+int(ar) > maxCount {
+	total := an + ns + ar
+	if qd+total > maxCount {
 		return nil, fmt.Errorf("dns: implausible record counts")
 	}
-	for i := 0; i < int(qd); i++ {
+	var m *Message
+	var qs []Question
+	var rrs []RR
+	if qd <= 1 && total <= decAllocRRs {
+		// The common shape — one question, a handful of records — is
+		// served by a single combined allocation.
+		d := new(decAlloc)
+		m = &d.m
+		qs = d.q[:0:qd]
+		rrs = d.rrs[:0:total]
+	} else {
+		m = new(Message)
+		qs = make([]Question, 0, qd)
+		rrs = make([]RR, 0, total)
+	}
+	m.ID = uint16(buf[0])<<8 | uint16(buf[1])
+	m.setFlags(uint16(buf[2])<<8 | uint16(buf[3]))
+	for i := 0; i < qd; i++ {
 		name, err := p.name()
 		if err != nil {
 			return nil, err
@@ -430,19 +561,28 @@ func Decode(buf []byte) (*Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.Questions = append(m.Questions, Question{Name: name, Type: Type(t), Class: Class(c)})
+		qs = append(qs, Question{Name: name, Type: Type(t), Class: Class(c)})
 	}
-	for _, section := range []struct {
-		count int
-		dst   *[]RR
-	}{{int(an), &m.Answers}, {int(ns), &m.Authority}, {int(ar), &m.Additional}} {
-		for i := 0; i < section.count; i++ {
-			rr, err := p.rr()
-			if err != nil {
-				return nil, err
-			}
-			*section.dst = append(*section.dst, rr)
+	if qd > 0 {
+		m.Questions = qs
+	}
+	// One backing array serves all three sections, carved with
+	// full-slice expressions so appends cannot cross sections.
+	for i := 0; i < total; i++ {
+		rr, err := p.rr()
+		if err != nil {
+			return nil, err
 		}
+		rrs = append(rrs, rr)
+	}
+	if an > 0 {
+		m.Answers = rrs[:an:an]
+	}
+	if ns > 0 {
+		m.Authority = rrs[an : an+ns : an+ns]
+	}
+	if ar > 0 {
+		m.Additional = rrs[an+ns:]
 	}
 	return m, nil
 }

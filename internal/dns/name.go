@@ -27,25 +27,32 @@ func Canonical(name string) string {
 // ValidName reports whether name is a well-formed canonical domain name:
 // fully qualified, total length ≤ 255 octets in wire form, each label
 // 1–63 octets of printable ASCII.
-func ValidName(name string) bool {
-	if name == "." {
+func ValidName(name string) bool { return validName(name) }
+
+// validName is ValidName over string or []byte, so the wire decoder can
+// validate scratch bytes without materializing a string. It walks the
+// name once instead of splitting into a label slice.
+func validName[T string | []byte](name T) bool {
+	if len(name) == 1 && name[0] == '.' {
 		return true
 	}
-	if name == "" || !strings.HasSuffix(name, ".") {
+	if len(name) == 0 || name[len(name)-1] != '.' {
 		return false
 	}
 	wire := 1 // terminal root byte
-	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
-		if len(label) == 0 || len(label) > 63 {
-			return false
-		}
-		for i := 0; i < len(label); i++ {
-			c := label[i]
-			if c < '!' || c > '~' || c == '.' {
+	start := 0
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '.' {
+			l := i - start
+			if l == 0 || l > 63 {
 				return false
 			}
+			wire += l + 1
+			start = i + 1
+		} else if c < '!' || c > '~' {
+			return false
 		}
-		wire += len(label) + 1
 	}
 	return wire <= 255
 }
@@ -106,14 +113,20 @@ func Join(label, suffix string) string {
 	return label + "." + suffix
 }
 
-// appendName encodes a canonical name in uncompressed wire form.
+// appendName encodes a canonical name in uncompressed wire form without
+// allocating intermediate label slices.
 func appendName(b []byte, name string) ([]byte, error) {
 	if !ValidName(name) {
 		return nil, fmt.Errorf("dns: invalid name %q", name)
 	}
-	for _, label := range Labels(name) {
-		b = append(b, byte(len(label)))
-		b = append(b, label...)
+	if name == "." {
+		return append(b, 0), nil
+	}
+	for pos := 0; pos < len(name); {
+		dot := strings.IndexByte(name[pos:], '.') // ValidName guarantees 1..63
+		b = append(b, byte(dot))
+		b = append(b, name[pos:pos+dot]...)
+		pos += dot + 1
 	}
 	return append(b, 0), nil
 }

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
-	"sync"
 )
 
 // Resolver performs iterative resolution from the root, the way a
@@ -13,10 +12,12 @@ import (
 // referrals are followed, glue is used when present, and out-of-bailiwick
 // name-server names are resolved with bounded sub-queries.
 //
-// Two caches make zone sweeps affordable: a delegation cache (zone cut →
-// server addresses) and a host-address cache (name-server name → A
-// records). Both must be flushed between measurement days, since the
-// simulated world changes under the resolver (FlushCache).
+// The resolver's infrastructure state — delegation cache, host cache
+// (positive and negative), and the singleflight table coalescing
+// concurrent misses — lives in an InfraCache, private by default and
+// shareable across resolvers with SetCache. Caches must be flushed
+// between measurement days, since the simulated world changes under the
+// resolver (FlushCache).
 type Resolver struct {
 	Client *Client
 	// Roots are the root name-server addresses (hints).
@@ -29,44 +30,35 @@ type Resolver struct {
 	// server used, question, and outcome) — cmd/dnsdig's -trace output.
 	Trace func(step TraceStep)
 
-	mu        sync.RWMutex
-	zoneCache map[string][]netip.Addr // zone cut -> authoritative addrs
-	hostCache map[string][]netip.Addr // ns host -> addresses
-	// hostNeg negative-caches NS-host lookups that failed: without it, a
-	// dead name-server host is fully re-resolved (root → TLD → nothing)
-	// for every one of the ~100k domains delegated to it in a sweep.
-	hostNeg map[string]bool
+	cache *InfraCache
 }
 
-// NewResolver builds a resolver over the transport with the given root hints.
+// NewResolver builds a resolver over the transport with the given root
+// hints and a private infrastructure cache.
 func NewResolver(t Transport, roots []netip.Addr) *Resolver {
 	return &Resolver{
-		Client:    NewClient(t),
-		Roots:     roots,
-		MaxSteps:  30,
-		MaxCNAME:  8,
-		zoneCache: make(map[string][]netip.Addr),
-		hostCache: make(map[string][]netip.Addr),
-		hostNeg:   make(map[string]bool),
+		Client:   NewClient(t),
+		Roots:    roots,
+		MaxSteps: 30,
+		MaxCNAME: 8,
+		cache:    NewInfraCache(),
 	}
 }
 
+// Cache returns the resolver's infrastructure cache.
+func (r *Resolver) Cache() *InfraCache { return r.cache }
+
+// SetCache replaces the resolver's infrastructure cache, typically with
+// one shared by several resolvers. Call before issuing queries.
+func (r *Resolver) SetCache(c *InfraCache) { r.cache = c }
+
 // FlushCache clears all caches (including negative entries). Call when
 // the simulated date advances.
-func (r *Resolver) FlushCache() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.zoneCache = make(map[string][]netip.Addr)
-	r.hostCache = make(map[string][]netip.Addr)
-	r.hostNeg = make(map[string]bool)
-}
+func (r *Resolver) FlushCache() { r.cache.Flush() }
 
-// CacheStats reports cache sizes, for the ablation benchmarks.
-func (r *Resolver) CacheStats() (zones, hosts int) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.zoneCache), len(r.hostCache)
-}
+// CacheStats reports cache sizes and cumulative hit/miss/coalesced
+// counters (for the ablation benchmarks, sweep stats, and /metrics).
+func (r *Resolver) CacheStats() CacheStats { return r.cache.Stats() }
 
 // TraceStep is one hop of an iterative resolution.
 type TraceStep struct {
@@ -185,11 +177,24 @@ func (r *Resolver) resolveNoCNAME(ctx context.Context, name string, qtype Type, 
 			r.trace(ts)
 			return &Result{RCode: RCodeNoError, Answers: resp.Answers, Zone: zone}, nil
 		}
-		// Referral?
-		var nsSet []RR
+		// Referral? The authority section is usually all NS records, in
+		// which case it is used as the NS set directly (read-only) rather
+		// than copied.
+		nsCount := 0
 		for _, rr := range resp.Authority {
 			if rr.Type == TypeNS {
-				nsSet = append(nsSet, rr)
+				nsCount++
+			}
+		}
+		var nsSet []RR
+		if nsCount == len(resp.Authority) {
+			nsSet = resp.Authority
+		} else if nsCount > 0 {
+			nsSet = make([]RR, 0, nsCount)
+			for _, rr := range resp.Authority {
+				if rr.Type == TypeNS {
+					nsSet = append(nsSet, rr)
+				}
 			}
 		}
 		if len(nsSet) == 0 {
@@ -206,19 +211,21 @@ func (r *Resolver) resolveNoCNAME(ctx context.Context, name string, qtype Type, 
 		if childZone == zone || !IsSubdomain(childZone, zone) {
 			return nil, fmt.Errorf("%w: referral from %s to %s", ErrLameDelegation, zone, childZone)
 		}
-		glue := make(map[string][]netip.Addr)
-		for _, rr := range resp.Additional {
-			if rr.Type == TypeA {
-				glue[rr.Name] = append(glue[rr.Name], rr.Data.(AData).Addr)
-			}
-		}
 		var next []netip.Addr
 		var needResolve []string
 		for _, ns := range nsSet {
 			host := ns.Data.(NSData).Host
-			if addrs := glue[host]; len(addrs) > 0 {
-				r.cacheHost(host, addrs)
-				next = append(next, addrs...)
+			// Collect this host's glue by scanning the additional section
+			// directly — referral sets are a handful of records, so a
+			// linear scan beats building a per-referral map.
+			n0 := len(next)
+			for _, rr := range resp.Additional {
+				if rr.Type == TypeA && rr.Name == host {
+					next = append(next, rr.Data.(AData).Addr)
+				}
+			}
+			if len(next) > n0 {
+				r.cache.storeHost(host, next[n0:len(next):len(next)])
 			} else {
 				needResolve = append(needResolve, host)
 			}
@@ -296,34 +303,66 @@ func (r *Resolver) trace(step TraceStep) {
 // addresses), consulting the host cache — positive and negative — first.
 // Failed lookups are negative-cached until FlushCache so a dead NS host
 // costs one resolution per sweep, not one per delegated domain.
+// Concurrent misses on the same host are coalesced: one caller leads the
+// upstream resolution, the rest wait for its outcome, so a cache-miss
+// storm on a popular provider issues a single query chain.
 func (r *Resolver) LookupHost(ctx context.Context, host string, depth int) ([]netip.Addr, error) {
 	host = Canonical(host)
-	r.mu.RLock()
-	cached, ok := r.hostCache[host]
-	neg := r.hostNeg[host]
-	r.mu.RUnlock()
-	if ok {
-		return cached, nil
-	}
-	if neg {
+	c := r.cache
+	if addrs, ok, neg := c.lookupHost(host); ok {
+		c.hostHits.Add(1)
+		return addrs, nil
+	} else if neg {
+		c.hostHits.Add(1)
 		return nil, fmt.Errorf("%w: host %s (negative-cached)", ErrResolutionFailed, host)
 	}
-	res, err := r.resolve(ctx, host, TypeA, depth)
-	if err != nil {
-		if ctx.Err() == nil {
-			r.mu.Lock()
-			r.hostNeg[host] = true
-			r.mu.Unlock()
+	for {
+		fl, lead, gen, addrs, ok, neg := c.joinOrLead(host)
+		switch {
+		case ok:
+			c.hostHits.Add(1)
+			return addrs, nil
+		case neg:
+			c.hostHits.Add(1)
+			return nil, fmt.Errorf("%w: host %s (negative-cached)", ErrResolutionFailed, host)
+		case lead:
+			c.hostMisses.Add(1)
+			return r.lookupHostUpstream(ctx, host, depth, fl, gen)
 		}
+		c.coalesced.Add(1)
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if fl.err == nil {
+			return fl.addrs, nil
+		}
+		if isContextErr(fl.err) && ctx.Err() == nil {
+			// The leader's context died, not the lookup: retry with ours.
+			continue
+		}
+		return nil, fl.err
+	}
+}
+
+// lookupHostUpstream resolves host's addresses upstream and records the
+// outcome in the cache (and the flight, when coalescing).
+func (r *Resolver) lookupHostUpstream(ctx context.Context, host string, depth int, fl *hostFlight, gen uint64) ([]netip.Addr, error) {
+	res, err := r.resolve(ctx, host, TypeA, depth)
+	var addrs []netip.Addr
+	if err == nil {
+		addrs = make([]netip.Addr, 0, len(res.Answers))
+		for _, rr := range res.Answers {
+			if rr.Type == TypeA {
+				addrs = append(addrs, rr.Data.(AData).Addr)
+			}
+		}
+	}
+	r.cache.completeHost(host, fl, gen, addrs, err, ctx.Err() != nil)
+	if err != nil {
 		return nil, err
 	}
-	addrs := make([]netip.Addr, 0, len(res.Answers))
-	for _, rr := range res.Answers {
-		if rr.Type == TypeA {
-			addrs = append(addrs, rr.Data.(AData).Addr)
-		}
-	}
-	r.cacheHost(host, addrs)
 	return addrs, nil
 }
 
@@ -358,30 +397,9 @@ func (r *Resolver) LookupNS(ctx context.Context, name string) ([]string, error) 
 }
 
 func (r *Resolver) deepestCached(name string) ([]netip.Addr, string) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for n := name; n != "."; n = Parent(n) {
-		if addrs, ok := r.zoneCache[n]; ok && len(addrs) > 0 {
-			return addrs, n
-		}
-	}
-	return r.Roots, "."
+	return r.cache.deepestCut(name, r.Roots)
 }
 
-func (r *Resolver) cacheZone(zone string, addrs []netip.Addr) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.zoneCache[zone] = addrs
-}
+func (r *Resolver) cacheZone(zone string, addrs []netip.Addr) { r.cache.storeZone(zone, addrs) }
 
-func (r *Resolver) dropZone(zone string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	delete(r.zoneCache, zone)
-}
-
-func (r *Resolver) cacheHost(host string, addrs []netip.Addr) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.hostCache[host] = addrs
-}
+func (r *Resolver) dropZone(zone string) { r.cache.dropZone(zone) }

@@ -197,13 +197,16 @@ func TestDelegationCacheSpeedsSecondQuery(t *testing.T) {
 	if second >= first {
 		t.Errorf("cache ineffective: first=%d second=%d queries", first, second)
 	}
-	zones, hosts := r.CacheStats()
-	if zones == 0 || hosts == 0 {
-		t.Errorf("caches empty after resolution: zones=%d hosts=%d", zones, hosts)
+	cs := r.CacheStats()
+	if cs.Zones == 0 || cs.Hosts == 0 {
+		t.Errorf("caches empty after resolution: zones=%d hosts=%d", cs.Zones, cs.Hosts)
+	}
+	if cs.ZoneHits == 0 || cs.Misses() == 0 {
+		t.Errorf("lookup counters not moving: %+v", cs)
 	}
 	r.FlushCache()
-	zones, hosts = r.CacheStats()
-	if zones != 0 || hosts != 0 {
+	cs = r.CacheStats()
+	if cs.Zones != 0 || cs.Hosts != 0 {
 		t.Error("FlushCache left entries behind")
 	}
 }

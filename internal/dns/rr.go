@@ -148,6 +148,22 @@ func (d TXTData) appendWire(b []byte) ([]byte, error) {
 	return b, nil
 }
 
+// RawData carries the RDATA of a record type the codec has no
+// structured representation for, verbatim (RFC 3597 opaque handling).
+// Encoding reproduces the exact original octets, so decoding unknown
+// types is lossless and re-encoding is idempotent.
+type RawData struct{ Octets string }
+
+// String implements RData in the RFC 3597 \# presentation format.
+func (d RawData) String() string {
+	if len(d.Octets) == 0 {
+		return `\# 0`
+	}
+	return fmt.Sprintf(`\# %d %x`, len(d.Octets), d.Octets)
+}
+
+func (d RawData) appendWire(b []byte) ([]byte, error) { return append(b, d.Octets...), nil }
+
 // NewA builds an A record.
 func NewA(name string, ttl uint32, addr netip.Addr) RR {
 	return RR{Name: Canonical(name), Type: TypeA, Class: ClassIN, TTL: ttl, Data: AData{addr}}

@@ -58,6 +58,7 @@ func (s *Server) Addr() netip.AddrPort {
 func (s *Server) serveLoop(conn *net.UDPConn) {
 	defer s.wg.Done()
 	buf := make([]byte, maxMsgSize)
+	var out []byte // response encode buffer, reused across datagrams
 	for {
 		n, raddr, err := conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
@@ -71,10 +72,11 @@ func (s *Server) serveLoop(conn *net.UDPConn) {
 		if resp == nil {
 			continue
 		}
-		wire, err := resp.Encode()
+		wire, err := resp.AppendEncode(out[:0])
 		if err != nil {
 			continue
 		}
+		out = wire
 		if len(wire) > maxUDPResponse(query) {
 			// Truncate to header+question and set TC, per RFC 1035 §4.2.1.
 			// EDNS0 queries raise the budget to their advertised size.
@@ -82,9 +84,10 @@ func (s *Server) serveLoop(conn *net.UDPConn) {
 			tc.Authoritative = resp.Authoritative
 			tc.RCode = resp.RCode
 			tc.Truncated = true
-			if wire, err = tc.Encode(); err != nil {
+			if wire, err = tc.AppendEncode(out[:0]); err != nil {
 				continue
 			}
+			out = wire
 		}
 		if _, err := conn.WriteToUDPAddrPort(wire, raddr); err != nil {
 			return

@@ -32,10 +32,13 @@ func (t *TCPTransport) Exchange(ctx context.Context, server netip.Addr, query *M
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
-	wire, err := query.Encode()
+	wb := getWireBuf()
+	defer putWireBuf(wb)
+	wire, err := query.AppendEncode((*wb)[:0])
 	if err != nil {
 		return nil, err
 	}
+	*wb = wire
 	d := net.Dialer{}
 	conn, err := d.DialContext(ctx, "tcp", netip.AddrPortFrom(server, uint16(port)).String())
 	if err != nil {
@@ -52,11 +55,14 @@ func (t *TCPTransport) Exchange(ctx context.Context, server netip.Addr, query *M
 	if err := writeTCPMessage(conn, wire); err != nil {
 		return nil, err
 	}
-	respWire, err := readTCPMessage(conn)
+	rb := getWireBuf()
+	defer putWireBuf(rb)
+	respWire, err := readTCPMessage(conn, (*rb)[:0])
 	if err != nil {
 		return nil, err
 	}
-	resp, err := Decode(respWire)
+	*rb = respWire
+	resp, err := Decode(respWire) // does not alias respWire
 	if err != nil {
 		return nil, err
 	}
@@ -79,13 +85,20 @@ func writeTCPMessage(w io.Writer, wire []byte) error {
 	return err
 }
 
-func readTCPMessage(r io.Reader) ([]byte, error) {
+// readTCPMessage reads one framed message into buf (grown as needed) and
+// returns the filled slice; callers own buf and may recycle it once the
+// message has been decoded.
+func readTCPMessage(r io.Reader, buf []byte) ([]byte, error) {
 	var frame [2]byte
 	if _, err := io.ReadFull(r, frame[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint16(frame[:])
-	buf := make([]byte, n)
+	n := int(binary.BigEndian.Uint16(frame[:]))
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
@@ -164,14 +177,18 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // serveTCPConn handles queries on one connection until EOF or error; TCP
 // connections may carry multiple queries (RFC 7766).
 func (s *Server) serveTCPConn(conn net.Conn) {
+	// One read and one write buffer serve the whole connection (RFC 7766
+	// connections carry many queries).
+	var readBuf, writeBuf []byte
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
 			return
 		}
-		wire, err := readTCPMessage(conn)
+		wire, err := readTCPMessage(conn, readBuf[:0])
 		if err != nil {
 			return
 		}
+		readBuf = wire
 		query, err := Decode(wire)
 		if err != nil || query.Response {
 			return // junk on a TCP stream: drop the connection
@@ -184,10 +201,11 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		if resp == nil {
 			return
 		}
-		out, err := resp.Encode()
+		out, err := resp.AppendEncode(writeBuf[:0])
 		if err != nil {
 			return
 		}
+		writeBuf = out
 		if err := writeTCPMessage(conn, out); err != nil {
 			return
 		}

@@ -53,6 +53,13 @@ type MemNet struct {
 	unreachable map[netip.Addr]bool
 	// WireTaps observe every exchanged query (e.g. for counting).
 	tap func(server netip.Addr, q *Message)
+	// intern dedups decoded names and RData across this network's
+	// lifetime; the simulated world's name population is fixed, so the
+	// steady-state decode allocates almost nothing.
+	intern *wireIntern
+	// refCodec routes exchanges through the original allocation-heavy
+	// codec; the equivalence oracle path.
+	refCodec atomic.Bool
 }
 
 // NewMemNet returns an empty in-memory network.
@@ -60,8 +67,15 @@ func NewMemNet() *MemNet {
 	return &MemNet{
 		handlers:    make(map[netip.Addr]Handler),
 		unreachable: make(map[netip.Addr]bool),
+		intern:      newWireIntern(),
 	}
 }
+
+// SetReferenceCodec switches this network between the fast wire codec
+// (default) and the preserved reference codec. The two are byte- and
+// value-equivalent — the switch exists so equivalence tests can run whole
+// studies down the original path.
+func (m *MemNet) SetReferenceCodec(on bool) { m.refCodec.Store(on) }
 
 // Bind attaches a handler to an address, replacing any previous binding.
 func (m *MemNet) Bind(addr netip.Addr, h Handler) {
@@ -108,11 +122,18 @@ func (m *MemNet) Exchange(ctx context.Context, server netip.Addr, query *Message
 	if down || h == nil {
 		return nil, fmt.Errorf("%w: %v", ErrNoRoute, server)
 	}
-	wire, err := query.Encode()
+	if m.refCodec.Load() {
+		return m.exchangeReference(query, h)
+	}
+	wb := getWireBuf()
+	wire, err := query.AppendEncode((*wb)[:0])
 	if err != nil {
+		putWireBuf(wb)
 		return nil, err
 	}
-	decoded, err := Decode(wire)
+	*wb = wire
+	decoded, err := decodeWith(wire, m.intern)
+	putWireBuf(wb) // decoded does not alias the buffer
 	if err != nil {
 		return nil, err
 	}
@@ -120,11 +141,43 @@ func (m *MemNet) Exchange(ctx context.Context, server netip.Addr, query *Message
 	if resp == nil {
 		return nil, fmt.Errorf("%w: handler returned no response", ErrNoRoute)
 	}
-	respWire, err := resp.Encode()
+	wb = getWireBuf()
+	respWire, err := resp.AppendEncode((*wb)[:0])
+	if err != nil {
+		putWireBuf(wb)
+		return nil, err
+	}
+	*wb = respWire
+	out, err := decodeWith(respWire, m.intern)
+	putWireBuf(wb)
 	if err != nil {
 		return nil, err
 	}
-	out, err := Decode(respWire)
+	if out.ID != query.ID {
+		return nil, ErrIDMismatch
+	}
+	return out, nil
+}
+
+// exchangeReference is Exchange's round-trip through the reference codec.
+func (m *MemNet) exchangeReference(query *Message, h Handler) (*Message, error) {
+	wire, err := ReferenceEncode(query)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := ReferenceDecode(wire)
+	if err != nil {
+		return nil, err
+	}
+	resp := h.ServeDNS(decoded, netip.AddrFrom4([4]byte{127, 0, 0, 1}))
+	if resp == nil {
+		return nil, fmt.Errorf("%w: handler returned no response", ErrNoRoute)
+	}
+	respWire, err := ReferenceEncode(resp)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ReferenceDecode(respWire)
 	if err != nil {
 		return nil, err
 	}
@@ -153,10 +206,13 @@ func (t *UDPTransport) Exchange(ctx context.Context, server netip.Addr, query *M
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
-	wire, err := query.Encode()
+	wb := getWireBuf()
+	defer putWireBuf(wb)
+	wire, err := query.AppendEncode((*wb)[:0])
 	if err != nil {
 		return nil, err
 	}
+	*wb = wire
 	d := net.Dialer{}
 	conn, err := d.DialContext(ctx, "udp", netip.AddrPortFrom(server, uint16(port)).String())
 	if err != nil {
@@ -173,7 +229,13 @@ func (t *UDPTransport) Exchange(ctx context.Context, server netip.Addr, query *M
 	if _, err := conn.Write(wire); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, maxMsgSize)
+	rb := getWireBuf()
+	defer putWireBuf(rb)
+	buf := (*rb)[:cap(*rb)]
+	if len(buf) < maxMsgSize {
+		buf = make([]byte, maxMsgSize)
+		*rb = buf
+	}
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {
@@ -328,6 +390,13 @@ func (c *Client) backoff(ctx context.Context, name string, attempt int) error {
 	}
 }
 
+// queryPool recycles query messages across Query calls. Safe because
+// transports must not retain the query past Exchange (responses are
+// decoded or copied, never aliased to it).
+var queryPool = sync.Pool{
+	New: func() any { return &Message{Questions: make([]Question, 1)} },
+}
+
 // Query sends a single question to server and returns the response,
 // retransmitting (with a fresh ID per attempt, as real resolvers do) on
 // errors, SERVFAIL flaps, and truncated responses. A SERVFAIL or
@@ -338,6 +407,13 @@ func (c *Client) Query(ctx context.Context, server netip.Addr, name string, qtyp
 	c.queries.Add(1)
 	var lastErr error
 	var lastResp *Message
+	// One pooled query message serves every attempt; only the ID changes
+	// per retransmission.
+	q := queryPool.Get().(*Message)
+	defer queryPool.Put(q)
+	q.Header = Header{}
+	q.Questions = append(q.Questions[:0], Question{Name: Canonical(name), Type: qtype, Class: ClassIN})
+	q.Answers, q.Authority, q.Additional = nil, nil, nil
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
@@ -346,7 +422,7 @@ func (c *Client) Query(ctx context.Context, server netip.Addr, name string, qtyp
 			}
 		}
 		c.attempts.Add(1)
-		q := NewQuery(c.idFor(name, qtype, attempt), name, qtype)
+		q.ID = c.idFor(name, qtype, attempt)
 		resp, err := c.Transport.Exchange(ctx, server, q)
 		if err != nil {
 			lastErr = err

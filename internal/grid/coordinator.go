@@ -110,7 +110,10 @@ type unitOutcome struct {
 	unreachable int
 	retries     int
 	recovered   int
-	latency     openintel.LatencyHistogram
+	cacheHits      int64
+	cacheMisses    int64
+	cacheCoalesced int64
+	latency        openintel.LatencyHistogram
 }
 
 // workerConn is one accepted worker connection.
@@ -585,7 +588,10 @@ func (c *Coordinator) handleResult(w *workerConn, msg resultMsg) error {
 		unreachable: int(msg.Unreachable),
 		retries:     int(msg.Retries),
 		recovered:   int(msg.Recovered),
-		latency:     msg.Latency,
+		cacheHits:      int64(msg.CacheHits),
+		cacheMisses:    int64(msg.CacheMisses),
+		cacheCoalesced: int64(msg.CacheCoalesced),
+		latency:        msg.Latency,
 	}
 	u.state = unitDone
 	u.owner = nil
@@ -682,8 +688,12 @@ func (c *Coordinator) SweepDay(ctx context.Context, day simtime.Day) (openintel.
 		stats.Unreachable += o.unreachable
 		stats.Retries += o.retries
 		stats.Recovered += o.recovered
+		stats.CacheHits += o.cacheHits
+		stats.CacheMisses += o.cacheMisses
+		stats.CacheCoalesced += o.cacheCoalesced
 		hist.Merge(&o.latency)
 	}
+	c.metrics.addCache(stats.CacheHits, stats.CacheMisses, stats.CacheCoalesced)
 	stats.Duration = time.Since(begin)
 	stats.LatencyP50 = hist.Quantile(0.50)
 	stats.LatencyP90 = hist.Quantile(0.90)
@@ -763,7 +773,10 @@ func (c *Coordinator) recordLocal(u *unit, seq uint64, res openintel.UnitResult)
 		unreachable: res.Unreachable,
 		retries:     res.Retries,
 		recovered:   res.Recovered,
-		latency:     res.Latency,
+		cacheHits:      res.CacheHits,
+		cacheMisses:    res.CacheMisses,
+		cacheCoalesced: res.CacheCoalesced,
+		latency:        res.Latency,
 	}
 	u.state = unitDone
 	c.sweep.done++

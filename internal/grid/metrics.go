@@ -28,7 +28,25 @@ type Metrics struct {
 	workerFailures  uint64 // connections that ended in an error
 	workersLive     int64
 
+	// Resolver infrastructure-cache counters, summed over merged sweeps
+	// (worker-measured units report their resolver's deltas).
+	cacheHits      uint64
+	cacheMisses    uint64
+	cacheCoalesced uint64
+
 	unitLatency openintel.LatencyHistogram // coordinator-observed per-unit wall clock
+}
+
+// addCache accumulates one sweep's resolver cache counter deltas.
+func (m *Metrics) addCache(hits, misses, coalesced int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.cacheHits += uint64(hits)
+	m.cacheMisses += uint64(misses)
+	m.cacheCoalesced += uint64(coalesced)
+	m.mu.Unlock()
 }
 
 func (m *Metrics) add(field *uint64, n uint64) {
@@ -83,6 +101,9 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 		"grid_worker_connects_total":  m.workerConnects,
 		"grid_worker_failures_total":  m.workerFailures,
 		"grid_workers_live":           uint64(m.workersLive),
+		"grid_resolver_cache_hits_total":      m.cacheHits,
+		"grid_resolver_cache_misses_total":    m.cacheMisses,
+		"grid_resolver_cache_coalesced_total": m.cacheCoalesced,
 	}
 	if m.unitLatency.Total() > 0 {
 		// Bucket i of LatencyHistogram holds durations in

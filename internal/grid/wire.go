@@ -299,7 +299,12 @@ type resultMsg struct {
 	Unreachable uint32
 	Retries     uint32
 	Recovered   uint32
-	Latency     openintel.LatencyHistogram
+	// CacheHits/CacheMisses/CacheCoalesced are the worker resolver's
+	// infrastructure-cache counter deltas across the unit.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheCoalesced uint64
+	Latency        openintel.LatencyHistogram
 	// Batch is a store.EncodeMeasurementBatch blob, sorted by domain.
 	Batch []byte
 }
@@ -315,6 +320,9 @@ func (m resultMsg) encode() []byte {
 	w.u32(m.Unreachable)
 	w.u32(m.Retries)
 	w.u32(m.Recovered)
+	w.u64(m.CacheHits)
+	w.u64(m.CacheMisses)
+	w.u64(m.CacheCoalesced)
 	for _, c := range m.Latency.Counts {
 		w.u32(c)
 	}
@@ -332,6 +340,9 @@ func decodeResult(r *wireReader) (resultMsg, error) {
 	m.Unreachable = r.u32("result unreachable")
 	m.Retries = r.u32("result retries")
 	m.Recovered = r.u32("result recovered")
+	m.CacheHits = r.u64("result cache hits")
+	m.CacheMisses = r.u64("result cache misses")
+	m.CacheCoalesced = r.u64("result cache coalesced")
 	for i := range m.Latency.Counts {
 		m.Latency.Counts[i] = r.u32("result latency bucket")
 	}

@@ -192,8 +192,11 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 				Unreachable: uint32(res.Unreachable),
 				Retries:     uint32(res.Retries),
 				Recovered:   uint32(res.Recovered),
-				Latency:     res.Latency,
-				Batch:       batch,
+				CacheHits:      uint64(res.CacheHits),
+				CacheMisses:    uint64(res.CacheMisses),
+				CacheCoalesced: uint64(res.CacheCoalesced),
+				Latency:        res.Latency,
+				Batch:          batch,
 			}
 			if err := conn.send(out.encode()); err != nil {
 				return fmt.Errorf("grid: worker %s: sending unit %d: %w", w.Name, msg.Unit, err)

@@ -83,6 +83,14 @@ type SweepStats struct {
 	// sweeps can merge worker-side observations exactly. Runtime-only,
 	// like Duration.
 	LatencyP50, LatencyP90, LatencyP99 time.Duration
+	// CacheHits/CacheMisses/CacheCoalesced are the resolver
+	// infrastructure-cache counter deltas across the sweep (zone and host
+	// caches combined; coalesced counts lookups that waited on another
+	// worker's in-flight miss). Runtime-only like Duration: whether a
+	// given lookup hits, misses, or coalesces depends on worker
+	// scheduling, so these never reach the journal — only the measured
+	// answers, which caching cannot change, are journaled.
+	CacheHits, CacheMisses, CacheCoalesced int64
 }
 
 // latBuckets is the number of latency histogram buckets: power-of-two
@@ -189,9 +197,12 @@ func (p *Pipeline) measurePool(ctx context.Context, day simtime.Day, domains []s
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Scratch buffers live for the worker's whole run; measure
+			// reuses them across domains instead of allocating per call.
+			var scratch measureScratch
 			for domain := range jobs {
 				start := time.Now()
-				m, nx, unreachable := p.measure(ctx, day, domain)
+				m, nx, unreachable := p.measure(ctx, day, domain, &scratch)
 				select {
 				case results <- measured{m: m, nx: nx, unreachable: unreachable, took: time.Since(start)}:
 				case <-ctx.Done():
@@ -239,6 +250,7 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 	p.Store.BeginSweep(day)
 
 	clientBefore := p.Resolver.Client.Stats()
+	cacheBefore := p.Resolver.CacheStats()
 
 	stats := SweepStats{Day: day, Domains: len(seeds)}
 	var hist LatencyHistogram
@@ -263,8 +275,12 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 		}
 	})
 	clientAfter := p.Resolver.Client.Stats()
+	cacheAfter := p.Resolver.CacheStats()
 	stats.Retries = int(clientAfter.Retries - clientBefore.Retries)
 	stats.Recovered = int(clientAfter.Recovered - clientBefore.Recovered)
+	stats.CacheHits = cacheAfter.Hits() - cacheBefore.Hits()
+	stats.CacheMisses = cacheAfter.Misses() - cacheBefore.Misses()
+	stats.CacheCoalesced = cacheAfter.Coalesced - cacheBefore.Coalesced
 	stats.Duration = time.Since(begin)
 	stats.LatencyP50 = hist.Quantile(0.50)
 	stats.LatencyP90 = hist.Quantile(0.90)
@@ -299,6 +315,10 @@ type UnitResult struct {
 	// the unit.
 	Retries   int
 	Recovered int
+	// CacheHits/CacheMisses/CacheCoalesced are the resolver
+	// infrastructure-cache counter deltas across the unit (workers
+	// process units serially, so per-unit deltas are exact).
+	CacheHits, CacheMisses, CacheCoalesced int64
 	// Latency is the per-domain measurement latency histogram.
 	Latency LatencyHistogram
 }
@@ -311,6 +331,7 @@ type UnitResult struct {
 // returns the context error; partial results are discarded by callers.
 func (p *Pipeline) MeasureUnit(ctx context.Context, day simtime.Day, domains []string) (UnitResult, error) {
 	clientBefore := p.Resolver.Client.Stats()
+	cacheBefore := p.Resolver.CacheStats()
 	res := UnitResult{Measurements: make([]store.Measurement, 0, len(domains))}
 	p.measurePool(ctx, day, domains, func(r measured) {
 		if r.m.Config.Failed {
@@ -326,8 +347,12 @@ func (p *Pipeline) MeasureUnit(ctx context.Context, day simtime.Day, domains []s
 		res.Measurements = append(res.Measurements, r.m)
 	})
 	clientAfter := p.Resolver.Client.Stats()
+	cacheAfter := p.Resolver.CacheStats()
 	res.Retries = int(clientAfter.Retries - clientBefore.Retries)
 	res.Recovered = int(clientAfter.Recovered - clientBefore.Recovered)
+	res.CacheHits = cacheAfter.Hits() - cacheBefore.Hits()
+	res.CacheMisses = cacheAfter.Misses() - cacheBefore.Misses()
+	res.CacheCoalesced = cacheAfter.Coalesced - cacheBefore.Coalesced
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
@@ -424,10 +449,15 @@ func Covered(replay *store.JournalReplay) map[simtime.Day]bool {
 	return done
 }
 
+// measureScratch holds per-worker buffers measure reuses across domains.
+type measureScratch struct {
+	nsAddrs []netip.Addr
+}
+
 // measure performs the three OpenINTEL lookups for one domain. The
 // unreachable result marks a domain whose delegation answered but whose
 // name-server hosts all failed to resolve to an address.
-func (p *Pipeline) measure(ctx context.Context, day simtime.Day, domain string) (store.Measurement, bool, bool) {
+func (p *Pipeline) measure(ctx context.Context, day simtime.Day, domain string, scratch *measureScratch) (store.Measurement, bool, bool) {
 	m := store.Measurement{Domain: domain, Day: day}
 	nsHosts, err := p.Resolver.LookupNS(ctx, domain)
 	if err != nil {
@@ -437,11 +467,10 @@ func (p *Pipeline) measure(ctx context.Context, day simtime.Day, domain string) 
 	nx := len(nsHosts) == 0
 	m.Config.NSHosts = nsHosts
 	// NS sets are ≤4 hosts in the common case, so a linear duplicate scan
-	// over the earlier hosts replaces the per-domain seen map, and a small
-	// stack buffer absorbs the address appends; the config keeps one
-	// exact-size copy.
-	var addrBuf [8]netip.Addr
-	nsAddrs := addrBuf[:0]
+	// over the earlier hosts replaces the per-domain seen map, and the
+	// worker's scratch buffer absorbs the address appends; the config
+	// keeps one exact-size copy.
+	nsAddrs := scratch.nsAddrs[:0]
 	for i, h := range nsHosts {
 		if hostSeenBefore(nsHosts[:i], h) {
 			continue
@@ -452,6 +481,7 @@ func (p *Pipeline) measure(ctx context.Context, day simtime.Day, domain string) 
 		}
 		nsAddrs = append(nsAddrs, addrs...)
 	}
+	scratch.nsAddrs = nsAddrs[:0]
 	if len(nsAddrs) > 0 {
 		m.Config.NSAddrs = append(make([]netip.Addr, 0, len(nsAddrs)), nsAddrs...)
 	}

@@ -19,6 +19,9 @@ import (
 func deterministic(s SweepStats) SweepStats {
 	s.Duration = 0
 	s.LatencyP50, s.LatencyP90, s.LatencyP99 = 0, 0, 0
+	// Cache counters are runtime-only: whether a lookup hits, misses, or
+	// coalesces depends on worker scheduling.
+	s.CacheHits, s.CacheMisses, s.CacheCoalesced = 0, 0, 0
 	return s
 }
 

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"whereru/internal/openintel"
 )
 
 // metrics is the server's observability surface, exposed at /metrics in
@@ -131,6 +133,28 @@ func (m *metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintln(cw, "# TYPE whereru_inflight_requests gauge")
 	fmt.Fprintf(cw, "whereru_inflight_requests %d\n", m.inflight.Load())
 	return cw.n, cw.err
+}
+
+// writeSweepCacheMetrics renders the resolver infrastructure-cache
+// counters accumulated across the study's collected sweeps (zero on a
+// study loaded from a store file, which carries no runtime stats).
+func writeSweepCacheMetrics(w io.Writer, stats []openintel.SweepStats) {
+	var hits, misses, coalesced int64
+	for _, st := range stats {
+		hits += st.CacheHits
+		misses += st.CacheMisses
+		coalesced += st.CacheCoalesced
+	}
+	for _, c := range []struct {
+		name, help string
+		val        int64
+	}{
+		{"whereru_sweep_cache_hits_total", "Resolver infrastructure-cache hits across all collected sweeps.", hits},
+		{"whereru_sweep_cache_misses_total", "Resolver infrastructure-cache misses across all collected sweeps.", misses},
+		{"whereru_sweep_cache_coalesced_total", "Resolver lookups that coalesced onto an in-flight identical miss.", coalesced},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.val)
+	}
 }
 
 type countWriter struct {

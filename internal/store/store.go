@@ -44,8 +44,16 @@ func (c Config) Normalize() Config {
 	return c
 }
 
+// sortAddrs sorts in place. Address sets are a handful of entries, so
+// insertion sort beats sort.Slice and allocates nothing (sort.Slice
+// allocates a reflect-based swapper per call — measurable at sweep
+// scale).
 func sortAddrs(a []netip.Addr) {
-	sort.Slice(a, func(i, j int) bool { return a[i].Less(a[j]) })
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].Less(a[j-1]); j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 // Equal reports deep equality with another config (both assumed

@@ -53,6 +53,8 @@ type World struct {
 	// providerZones maps a provider's NS-name parent zone ("nic.ru.") to
 	// the provider, for TLD delegation of the providers' own names.
 	providerZones map[string]*Provider
+	// rr memoizes handler response sections (see rrcache.go).
+	rr *rrCache
 }
 
 // Build generates the world.

@@ -1,0 +1,202 @@
+package world
+
+import (
+	"net/netip"
+	"sync"
+
+	"whereru/internal/dns"
+)
+
+// Authoritative handlers answer the same question with the same record
+// set over and over — every domain on a given DNS profile shares one NS
+// host set, every sweep asks for every domain's delegation — so the
+// handlers memoize their response sections instead of rebuilding RR
+// slices per query. All cached sets are pure functions of immutable
+// world state (profiles, providers, per-epoch domain configs), never of
+// the simulation clock, and responses are serialized to the wire before
+// any client sees them, so sharing one slice across responses is
+// invisible to measurements. Cached slices are write-once: handlers
+// assign them to empty response sections and never append afterwards.
+
+// nsSet is a DNS profile's name-server host set with its glue.
+type nsSet struct {
+	hosts []string
+	addrs []netip.Addr
+}
+
+// refSet is a memoized referral: authority (NS) and additional (glue).
+type refSet struct {
+	auth []dns.RR
+	addl []dns.RR
+}
+
+// rrKey keys lazily-built per-domain caches by owner name and profile.
+type rrKey struct {
+	name    string
+	profile string
+}
+
+// rrCache holds the memoized response sections. Eager maps are built
+// once in buildServing and read without locks; lazy maps fill on first
+// use under rrMu (domain×profile pairs are discovered as queries come).
+type rrCache struct {
+	nsSets      map[string]nsSet  // dnsProfile -> host set (eager)
+	rootRef     map[string]refSet // tld label -> root referral (eager)
+	providerRef map[string]refSet // provider zone -> delegation (eager)
+	rootNXSOA   []dns.RR          // root NXDOMAIN authority (eager)
+
+	mu       sync.RWMutex
+	domRef   map[rrKey]refSet   // {domain, dnsProfile} -> TLD delegation
+	nsAnswer map[rrKey][]dns.RR // {domain, dnsProfile} -> NS answers
+	aAnswer  map[rrKey][]dns.RR // {domain, hostProfile} -> apex A answers
+	mxAnswer map[rrKey][]dns.RR // {domain, mailHost} -> MX answer
+}
+
+// buildRRCache precomputes the profile- and provider-keyed sets; called
+// from buildServing after providers and TLD addresses are final.
+func (w *World) buildRRCache() {
+	c := &rrCache{
+		nsSets:      make(map[string]nsSet, len(dnsProfiles)),
+		rootRef:     make(map[string]refSet, len(w.tldAddrs)),
+		providerRef: make(map[string]refSet, len(w.providerZones)),
+		rootNXSOA:   []dns.RR{dns.NewSOA(".", "a.root-servers.net.", "nstld.verisign-grs.com.", 1)},
+		domRef:      make(map[rrKey]refSet),
+		nsAnswer:    make(map[rrKey][]dns.RR),
+		aAnswer:     make(map[rrKey][]dns.RR),
+		mxAnswer:    make(map[rrKey][]dns.RR),
+	}
+	for profile := range dnsProfiles {
+		hosts, addrs := w.nsSetFor(profile)
+		c.nsSets[profile] = nsSet{hosts: hosts, addrs: addrs}
+	}
+	for tld, addrs := range w.tldAddrs {
+		zone := tld + "."
+		var set refSet
+		for i, a := range addrs {
+			host := string(rune('a'+i)) + ".tld-servers." + zone
+			set.auth = append(set.auth, dns.NewNS(zone, 172800, host))
+			set.addl = append(set.addl, dns.NewA(host, 172800, a))
+		}
+		c.rootRef[tld] = set
+	}
+	for zone, p := range w.providerZones {
+		c.providerRef[zone] = buildProviderReferral(zone, p)
+	}
+	w.rr = c
+}
+
+// buildProviderReferral materializes appendProviderReferral's record set.
+func buildProviderReferral(zone string, p *Provider) refSet {
+	var set refSet
+	for i, h := range p.NSNames {
+		if !dns.IsSubdomain(h, zone) {
+			continue
+		}
+		set.auth = append(set.auth, dns.NewNS(zone, 172800, h))
+		set.addl = append(set.addl, dns.NewA(h, 172800, p.NSAddrs[i]))
+	}
+	if len(set.auth) == 0 {
+		// NS names under someone else's zone (e.g. googlecloud2 sharing
+		// googledomains.com): delegate with all of the provider's names.
+		for i, h := range p.NSNames {
+			set.auth = append(set.auth, dns.NewNS(zone, 172800, h))
+			set.addl = append(set.addl, dns.NewA(h, 172800, p.NSAddrs[i]))
+		}
+	}
+	return set
+}
+
+// nsSetCached returns the memoized host set for a DNS profile.
+func (w *World) nsSetCached(profile string) nsSet {
+	if s, ok := w.rr.nsSets[profile]; ok {
+		return s
+	}
+	hosts, addrs := w.nsSetFor(profile) // unknown profile: build uncached
+	return nsSet{hosts: hosts, addrs: addrs}
+}
+
+// domainReferral returns the memoized TLD delegation for a registered
+// domain on a DNS profile: NS records plus glue for in-bailiwick hosts.
+func (w *World) domainReferral(domain, profile, zone string) refSet {
+	key := rrKey{domain, profile}
+	c := w.rr
+	c.mu.RLock()
+	set, ok := c.domRef[key]
+	c.mu.RUnlock()
+	if ok {
+		return set
+	}
+	ns := w.nsSetCached(profile)
+	for i, h := range ns.hosts {
+		set.auth = append(set.auth, dns.NewNS(domain, 3600, h))
+		if dns.IsSubdomain(h, zone) && i < len(ns.addrs) {
+			set.addl = append(set.addl, dns.NewA(h, 3600, ns.addrs[i]))
+		}
+	}
+	c.mu.Lock()
+	c.domRef[key] = set
+	c.mu.Unlock()
+	return set
+}
+
+// nsAnswers returns the memoized authoritative NS answer set for a
+// customer domain on a DNS profile.
+func (w *World) nsAnswers(domain, profile string) []dns.RR {
+	key := rrKey{domain, profile}
+	c := w.rr
+	c.mu.RLock()
+	rrs, ok := c.nsAnswer[key]
+	c.mu.RUnlock()
+	if ok {
+		return rrs
+	}
+	ns := w.nsSetCached(profile)
+	rrs = make([]dns.RR, 0, len(ns.hosts))
+	for _, h := range ns.hosts {
+		rrs = append(rrs, dns.NewNS(domain, 3600, h))
+	}
+	c.mu.Lock()
+	c.nsAnswer[key] = rrs
+	c.mu.Unlock()
+	return rrs
+}
+
+// aAnswers returns the memoized apex A answer set for a customer domain
+// on a hosting profile.
+func (w *World) aAnswers(domain, hostProfile string) []dns.RR {
+	key := rrKey{domain, hostProfile}
+	c := w.rr
+	c.mu.RLock()
+	rrs, ok := c.aAnswer[key]
+	c.mu.RUnlock()
+	if ok {
+		return rrs
+	}
+	addrs := w.hostAddrsFor(domain, hostProfile)
+	rrs = make([]dns.RR, 0, len(addrs))
+	for _, a := range addrs {
+		rrs = append(rrs, dns.NewA(domain, 300, a))
+	}
+	c.mu.Lock()
+	c.aAnswer[key] = rrs
+	c.mu.Unlock()
+	return rrs
+}
+
+// mxAnswers returns the memoized MX answer for a customer domain and
+// mail host.
+func (w *World) mxAnswers(domain, mailHost string) []dns.RR {
+	key := rrKey{domain, mailHost}
+	c := w.rr
+	c.mu.RLock()
+	rrs, ok := c.mxAnswer[key]
+	c.mu.RUnlock()
+	if ok {
+		return rrs
+	}
+	rrs = []dns.RR{dns.NewMX(domain, 3600, 10, mailHost)}
+	c.mu.Lock()
+	c.mxAnswer[key] = rrs
+	c.mu.Unlock()
+	return rrs
+}

@@ -15,6 +15,7 @@ import (
 // simulation clock, so the same binding answers differently on different
 // days — exactly how the measurement pipeline experiences the real world.
 func (w *World) buildServing() error {
+	w.buildRRCache()
 	for _, root := range w.roots {
 		w.Mem.Bind(root, dns.HandlerFunc(w.serveRoot))
 	}
@@ -42,19 +43,15 @@ func (w *World) serveRoot(q *dns.Message, _ netip.Addr) *dns.Message {
 	}
 	name := q.Questions[0].Name
 	tld := dns.TLD(name)
-	addrs, ok := w.tldAddrs[tld]
+	set, ok := w.rr.rootRef[tld]
 	if !ok {
 		resp.Authoritative = true
 		resp.RCode = dns.RCodeNXDomain
-		resp.Authority = []dns.RR{dns.NewSOA(".", "a.root-servers.net.", "nstld.verisign-grs.com.", 1)}
+		resp.Authority = w.rr.rootNXSOA
 		return resp
 	}
-	zone := tld + "."
-	for i, a := range addrs {
-		host := string(rune('a'+i)) + ".tld-servers." + zone
-		resp.Authority = append(resp.Authority, dns.NewNS(zone, 172800, host))
-		resp.Additional = append(resp.Additional, dns.NewA(host, 172800, a))
-	}
+	resp.Authority = set.auth
+	resp.Additional = set.addl
 	return resp
 }
 
@@ -80,8 +77,10 @@ func (w *World) tldHandler(tld string) dns.Handler {
 		// Provider zones (e.g. nic.ru., sedoparking.com.) win over
 		// registrations: they are infrastructure, not customer names.
 		for z := name; z != zone && z != "."; z = dns.Parent(z) {
-			if p, ok := w.providerZones[z]; ok {
-				w.appendProviderReferral(resp, z, p)
+			if _, ok := w.providerZones[z]; ok {
+				set := w.rr.providerRef[z]
+				resp.Authority = set.auth
+				resp.Additional = set.addl
 				return resp
 			}
 		}
@@ -89,7 +88,9 @@ func (w *World) tldHandler(tld string) dns.Handler {
 			if reg := w.registeredAncestor(name, zone); reg != "" {
 				if d, ok := w.domains[reg]; ok && d.ActiveOn(now) {
 					if cfg, ok := d.ConfigAt(now); ok {
-						w.appendDomainReferral(resp, reg, cfg, zone)
+						set := w.domainReferral(reg, cfg.DNS, zone)
+						resp.Authority = set.auth
+						resp.Additional = set.addl
 						return resp
 					}
 				}
@@ -103,62 +104,39 @@ func (w *World) tldHandler(tld string) dns.Handler {
 }
 
 // registeredAncestor trims name to the registration directly under zone.
+// The registration is always a suffix of name, so the result is returned
+// as a substring without allocating.
 func (w *World) registeredAncestor(name, zone string) string {
-	if name == zone {
+	if name == zone || len(name) <= len(zone)+1 || !strings.HasSuffix(name, "."+zone) {
 		return ""
 	}
-	trimmed := strings.TrimSuffix(name, "."+zone)
-	if trimmed == name { // name == zone handled above
-		return ""
-	}
-	labels := strings.Split(trimmed, ".")
-	return labels[len(labels)-1] + "." + zone
-}
-
-// appendDomainReferral writes the delegation for a registered domain.
-// Glue is attached only for in-bailiwick name servers, as real TLD
-// servers do; out-of-bailiwick server addresses must be resolved
-// separately (which the resolver caches per provider).
-func (w *World) appendDomainReferral(resp *dns.Message, domain string, cfg epochRec, zone string) {
-	hosts, addrs := w.nsSetFor(cfg.DNS)
-	for i, h := range hosts {
-		resp.Authority = append(resp.Authority, dns.NewNS(domain, 3600, h))
-		if dns.IsSubdomain(h, zone) && i < len(addrs) {
-			resp.Additional = append(resp.Additional, dns.NewA(h, 3600, addrs[i]))
-		}
-	}
-}
-
-// appendProviderReferral writes the delegation for a provider's own zone,
-// with glue (providers' NS names are in-bailiwick of their own zones).
-func (w *World) appendProviderReferral(resp *dns.Message, zone string, p *Provider) {
-	for i, h := range p.NSNames {
-		if !dns.IsSubdomain(h, zone) {
-			continue
-		}
-		resp.Authority = append(resp.Authority, dns.NewNS(zone, 172800, h))
-		resp.Additional = append(resp.Additional, dns.NewA(h, 172800, p.NSAddrs[i]))
-	}
-	if len(resp.Authority) == 0 {
-		// NS names under someone else's zone (e.g. googlecloud2 sharing
-		// googledomains.com): delegate with all of the provider's names.
-		for i, h := range p.NSNames {
-			resp.Authority = append(resp.Authority, dns.NewNS(zone, 172800, h))
-			resp.Additional = append(resp.Additional, dns.NewA(h, 172800, p.NSAddrs[i]))
-		}
-	}
+	prefix := name[:len(name)-len(zone)-1]
+	i := strings.LastIndexByte(prefix, '.')
+	return name[i+1:]
 }
 
 // providerHandler answers authoritatively for a provider's NS names, and
 // for any domain whose configuration on the current day delegates to this
 // provider.
 func (w *World) providerHandler(p *Provider) dns.Handler {
-	ownNames := make(map[string]netip.Addr, len(p.NSNames)+1)
+	// The provider's own infrastructure names answer from fixed record
+	// sets, built once per handler.
+	ownRRs := make(map[string][]dns.RR, len(p.NSNames)+1)
 	for i, n := range p.NSNames {
-		ownNames[n] = p.NSAddrs[i]
+		ownRRs[n] = []dns.RR{dns.NewA(n, 3600, p.NSAddrs[i])}
 	}
 	if p.MailHost != "" {
-		ownNames[p.MailHost] = p.MailAddr
+		ownRRs[p.MailHost] = []dns.RR{dns.NewA(p.MailHost, 3600, p.MailAddr)}
+	}
+	// Apex NS sets: any provider zone apex queried at this server is
+	// answered with this provider's NS names (owner = queried zone).
+	apexNS := make(map[string][]dns.RR, len(w.providerZones))
+	for zone := range w.providerZones {
+		rrs := make([]dns.RR, 0, len(p.NSNames))
+		for _, h := range p.NSNames {
+			rrs = append(rrs, dns.NewNS(zone, 3600, h))
+		}
+		apexNS[zone] = rrs
 	}
 	return dns.HandlerFunc(func(q *dns.Message, _ netip.Addr) *dns.Message {
 		resp := q.Reply()
@@ -171,10 +149,10 @@ func (w *World) providerHandler(p *Provider) dns.Handler {
 		now := w.Clock().Now()
 
 		// The provider's own infrastructure names.
-		if addr, ok := ownNames[name]; ok {
+		if rrs, ok := ownRRs[name]; ok {
 			resp.Authoritative = true
 			if question.Type == dns.TypeA {
-				resp.Answers = []dns.RR{dns.NewA(name, 3600, addr)}
+				resp.Answers = rrs
 			}
 			return resp
 		}
@@ -182,9 +160,7 @@ func (w *World) providerHandler(p *Provider) dns.Handler {
 		if _, ok := w.providerZones[name]; ok {
 			resp.Authoritative = true
 			if question.Type == dns.TypeNS {
-				for _, h := range p.NSNames {
-					resp.Answers = append(resp.Answers, dns.NewNS(name, 3600, h))
-				}
+				resp.Answers = apexNS[name]
 			}
 			return resp
 		}
@@ -216,17 +192,12 @@ func (w *World) providerHandler(p *Provider) dns.Handler {
 		resp.Authoritative = true
 		switch question.Type {
 		case dns.TypeNS:
-			hosts, _ := w.nsSetFor(cfg.DNS)
-			for _, h := range hosts {
-				resp.Answers = append(resp.Answers, dns.NewNS(name, 3600, h))
-			}
+			resp.Answers = w.nsAnswers(name, cfg.DNS)
 		case dns.TypeA:
-			for _, a := range w.hostAddrsFor(name, cfg.Host) {
-				resp.Answers = append(resp.Answers, dns.NewA(name, 300, a))
-			}
+			resp.Answers = w.aAnswers(name, cfg.Host)
 		case dns.TypeMX:
 			if mp := w.MailProviderFor(d, now); mp != nil && mp.MailHost != "" {
-				resp.Answers = []dns.RR{dns.NewMX(name, 3600, 10, mp.MailHost)}
+				resp.Answers = w.mxAnswers(name, mp.MailHost)
 			}
 		case dns.TypeSOA:
 			resp.Answers = []dns.RR{dns.NewSOA(name, p.NSNames[0], "hostmaster."+name, uint32(now))}
