@@ -267,6 +267,16 @@ func describeStore(st *store.Store) {
 		}
 		fmt.Println(")")
 	}
+	ms := st.MemStats()
+	fmt.Println("  interning:")
+	fmt.Printf("    distinct configs: %d (%.1fx epoch dedup)\n", ms.DistinctConfigs,
+		float64(max64(ms.Epochs, 1))/float64(max64(int64(ms.DistinctConfigs), 1)))
+	fmt.Printf("    pooled hosts:     %d strings, %d host slots, %d addr slots\n",
+		ms.InternedHosts, ms.HostSlots, ms.AddrSlots)
+	fmt.Printf("    resident bytes:   %d (columns %d, intern %d, index %d)\n",
+		ms.ResidentBytes(), ms.ColumnBytes, ms.InternBytes, ms.IndexBytes)
+	fmt.Printf("    bytes/epoch:      %.1f (naive would hold %d records)\n",
+		ms.BytesPerEpoch(), ms.NaiveRecords)
 }
 
 func max64(a, b int64) int64 {

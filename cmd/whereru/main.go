@@ -57,6 +57,7 @@ import (
 	"whereru/internal/core"
 	"whereru/internal/openintel"
 	"whereru/internal/simtime"
+	"whereru/internal/store"
 	"whereru/internal/world"
 )
 
@@ -91,6 +92,7 @@ func run() error {
 	gridShard := flag.Int("grid-shard", 0, "domains per grid work unit (0 = default)")
 	gridWait := flag.Int("grid-wait", 0, "wait for N connected grid workers before the first sweep")
 	gridMetrics := flag.String("grid-metrics", "", "write grid counters to this file after the run")
+	memStats := flag.String("memstats", "", "write store memory accounting to this file after collection")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	flag.Parse()
 
@@ -146,6 +148,12 @@ func run() error {
 	}
 	if !*quiet {
 		printRunSummary(os.Stderr, study.Stats)
+	}
+	if *memStats != "" {
+		if err := writeMemStats(*memStats, study.Store.MemStats()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *memStats)
 	}
 	if *gridMetrics != "" {
 		if study.Grid == nil {
@@ -230,6 +238,30 @@ func printRunSummary(w io.Writer, stats []openintel.SweepStats) {
 		fmt.Fprintf(w, "collection: %d sweeps in %s (avg %s/sweep)\n",
 			timed, total.Round(time.Millisecond), (total / time.Duration(timed)).Round(time.Millisecond))
 	}
+}
+
+// writeMemStats writes the store's memory accounting in a flat
+// name-value format. The figures are deterministic for a given run
+// configuration (accounted from the representation, not sampled from the
+// allocator), which is what lets CI gate store_bytes_per_epoch against a
+// checked-in threshold the way the allocs gate works.
+func writeMemStats(path string, ms store.MemStats) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "store_domains %d\n", ms.Domains)
+	fmt.Fprintf(f, "store_epochs %d\n", ms.Epochs)
+	fmt.Fprintf(f, "store_dead_rows %d\n", ms.DeadRows)
+	fmt.Fprintf(f, "store_naive_records %d\n", ms.NaiveRecords)
+	fmt.Fprintf(f, "store_distinct_configs %d\n", ms.DistinctConfigs)
+	fmt.Fprintf(f, "store_interned_hosts %d\n", ms.InternedHosts)
+	fmt.Fprintf(f, "store_column_bytes %d\n", ms.ColumnBytes)
+	fmt.Fprintf(f, "store_intern_bytes %d\n", ms.InternBytes)
+	fmt.Fprintf(f, "store_index_bytes %d\n", ms.IndexBytes)
+	fmt.Fprintf(f, "store_resident_bytes %d\n", ms.ResidentBytes())
+	fmt.Fprintf(f, "store_bytes_per_epoch %d\n", int64(ms.BytesPerEpoch()+0.5))
+	return f.Close()
 }
 
 func hostname() string {

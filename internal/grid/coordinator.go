@@ -104,12 +104,12 @@ type unit struct {
 
 // unitOutcome is a merged-ready result.
 type unitOutcome struct {
-	ms          []store.Measurement
-	failed      int
-	nxdomain    int
-	unreachable int
-	retries     int
-	recovered   int
+	ms             []store.Measurement
+	failed         int
+	nxdomain       int
+	unreachable    int
+	retries        int
+	recovered      int
 	cacheHits      int64
 	cacheMisses    int64
 	cacheCoalesced int64
@@ -143,6 +143,9 @@ func NewCoordinator(p *openintel.Pipeline) *Coordinator {
 		conns:     map[*workerConn]bool{},
 	}
 	c.cond = sync.NewCond(&c.mu)
+	if p != nil {
+		c.metrics.SetStore(p.Store)
+	}
 	return c
 }
 
@@ -582,12 +585,12 @@ func (c *Coordinator) handleResult(w *workerConn, msg resultMsg) error {
 		c.metrics.add(&c.metrics.staleResults, 1)
 	}
 	u.out = &unitOutcome{
-		ms:          ms,
-		failed:      int(msg.Failed),
-		nxdomain:    int(msg.NXDomain),
-		unreachable: int(msg.Unreachable),
-		retries:     int(msg.Retries),
-		recovered:   int(msg.Recovered),
+		ms:             ms,
+		failed:         int(msg.Failed),
+		nxdomain:       int(msg.NXDomain),
+		unreachable:    int(msg.Unreachable),
+		retries:        int(msg.Retries),
+		recovered:      int(msg.Recovered),
 		cacheHits:      int64(msg.CacheHits),
 		cacheMisses:    int64(msg.CacheMisses),
 		cacheCoalesced: int64(msg.CacheCoalesced),
@@ -767,12 +770,12 @@ func (c *Coordinator) recordLocal(u *unit, seq uint64, res openintel.UnitResult)
 		return
 	}
 	u.out = &unitOutcome{
-		ms:          res.Measurements,
-		failed:      res.Failed,
-		nxdomain:    res.NXDomain,
-		unreachable: res.Unreachable,
-		retries:     res.Retries,
-		recovered:   res.Recovered,
+		ms:             res.Measurements,
+		failed:         res.Failed,
+		nxdomain:       res.NXDomain,
+		unreachable:    res.Unreachable,
+		retries:        res.Retries,
+		recovered:      res.Recovered,
 		cacheHits:      res.CacheHits,
 		cacheMisses:    res.CacheMisses,
 		cacheCoalesced: res.CacheCoalesced,

@@ -150,6 +150,10 @@ func TestGridKillWorkerMidSweep(t *testing.T) {
 	if snap["grid_units_reassigned_total"] == 0 {
 		t.Errorf("expected a nonzero reassignment counter after killing a worker, got %v", snap)
 	}
+	if snap["grid_store_epochs"] == 0 || snap["grid_store_distinct_configs"] == 0 ||
+		snap["grid_store_resident_bytes"] == 0 {
+		t.Errorf("store memory gauges missing from grid metrics: %v", snap)
+	}
 
 	var st, rep bytes.Buffer
 	if err := study.SaveStore(&st); err != nil {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"whereru/internal/openintel"
+	"whereru/internal/store"
 )
 
 // Metrics counts what the coordinator did, in the same hand-rolled
@@ -35,6 +36,21 @@ type Metrics struct {
 	cacheCoalesced uint64
 
 	unitLatency openintel.LatencyHistogram // coordinator-observed per-unit wall clock
+
+	// store, when set via SetStore, contributes the measurement store's
+	// interning/memory gauges to Snapshot.
+	store *store.Store
+}
+
+// SetStore attaches the measurement store whose memory gauges Snapshot
+// should report (the coordinator's merged store).
+func (m *Metrics) SetStore(s *store.Store) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.store = s
+	m.mu.Unlock()
 }
 
 // addCache accumulates one sweep's resolver cache counter deltas.
@@ -91,16 +107,16 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := map[string]uint64{
-		"grid_units_dispatched_total": m.unitsDispatched,
-		"grid_units_completed_total":  m.unitsCompleted,
-		"grid_units_local_total":      m.unitsLocal,
-		"grid_units_reassigned_total": m.unitsReassigned,
-		"grid_duplicate_units_total":  m.duplicateUnits,
-		"grid_stale_results_total":    m.staleResults,
-		"grid_frames_rejected_total":  m.framesRejected,
-		"grid_worker_connects_total":  m.workerConnects,
-		"grid_worker_failures_total":  m.workerFailures,
-		"grid_workers_live":           uint64(m.workersLive),
+		"grid_units_dispatched_total":         m.unitsDispatched,
+		"grid_units_completed_total":          m.unitsCompleted,
+		"grid_units_local_total":              m.unitsLocal,
+		"grid_units_reassigned_total":         m.unitsReassigned,
+		"grid_duplicate_units_total":          m.duplicateUnits,
+		"grid_stale_results_total":            m.staleResults,
+		"grid_frames_rejected_total":          m.framesRejected,
+		"grid_worker_connects_total":          m.workerConnects,
+		"grid_worker_failures_total":          m.workerFailures,
+		"grid_workers_live":                   uint64(m.workersLive),
 		"grid_resolver_cache_hits_total":      m.cacheHits,
 		"grid_resolver_cache_misses_total":    m.cacheMisses,
 		"grid_resolver_cache_coalesced_total": m.cacheCoalesced,
@@ -119,6 +135,14 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 			}
 		}
 		out["grid_unit_duration_microseconds_count"] = cum
+	}
+	if m.store != nil {
+		ms := m.store.MemStats()
+		out["grid_store_domains"] = uint64(ms.Domains)
+		out["grid_store_epochs"] = uint64(ms.Epochs)
+		out["grid_store_distinct_configs"] = uint64(ms.DistinctConfigs)
+		out["grid_store_interned_hosts"] = uint64(ms.InternedHosts)
+		out["grid_store_resident_bytes"] = uint64(ms.ResidentBytes())
 	}
 	return out
 }

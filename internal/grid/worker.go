@@ -184,14 +184,14 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 				return fmt.Errorf("grid: worker %s: encoding unit %d: %w", w.Name, msg.Unit, err)
 			}
 			out := resultMsg{
-				Unit:        msg.Unit,
-				Seq:         msg.Seq,
-				Day:         msg.Day,
-				Failed:      uint32(res.Failed),
-				NXDomain:    uint32(res.NXDomain),
-				Unreachable: uint32(res.Unreachable),
-				Retries:     uint32(res.Retries),
-				Recovered:   uint32(res.Recovered),
+				Unit:           msg.Unit,
+				Seq:            msg.Seq,
+				Day:            msg.Day,
+				Failed:         uint32(res.Failed),
+				NXDomain:       uint32(res.NXDomain),
+				Unreachable:    uint32(res.Unreachable),
+				Retries:        uint32(res.Retries),
+				Recovered:      uint32(res.Recovered),
 				CacheHits:      uint64(res.CacheHits),
 				CacheMisses:    uint64(res.CacheMisses),
 				CacheCoalesced: uint64(res.CacheCoalesced),

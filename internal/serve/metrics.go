@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"whereru/internal/openintel"
+	"whereru/internal/store"
 )
 
 // metrics is the server's observability surface, exposed at /metrics in
@@ -154,6 +155,26 @@ func writeSweepCacheMetrics(w io.Writer, stats []openintel.SweepStats) {
 		{"whereru_sweep_cache_coalesced_total", "Resolver lookups that coalesced onto an in-flight identical miss.", coalesced},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.val)
+	}
+}
+
+// writeStoreMemMetrics renders the measurement store's interning and
+// memory accounting as gauges: values move with store contents (they can
+// shrink on compaction), not monotonically.
+func writeStoreMemMetrics(w io.Writer, ms store.MemStats) {
+	for _, g := range []struct {
+		name, help string
+		val        int64
+	}{
+		{"whereru_store_domains", "Domains held by the measurement store.", int64(ms.Domains)},
+		{"whereru_store_epochs", "Live (domain, epoch) rows in the columnar store.", ms.Epochs},
+		{"whereru_store_distinct_configs", "Distinct interned DNS configurations.", int64(ms.DistinctConfigs)},
+		{"whereru_store_interned_hosts", "Distinct pooled hostname strings.", int64(ms.InternedHosts)},
+		{"whereru_store_resident_bytes", "Accounted resident bytes of the store representation.", ms.ResidentBytes()},
+		{"whereru_store_column_bytes", "Accounted bytes held by the epoch columns and row index.", ms.ColumnBytes},
+		{"whereru_store_intern_bytes", "Accounted bytes held by the config intern table and pools.", ms.InternBytes},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.val)
 	}
 }
 

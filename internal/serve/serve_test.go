@@ -433,6 +433,10 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"whereru_computations_total",
 		"whereru_cache_hits_total",
 		"whereru_inflight_requests",
+		"whereru_store_domains",
+		"whereru_store_epochs",
+		"whereru_store_distinct_configs",
+		"whereru_store_resident_bytes",
 	} {
 		if !strings.Contains(text, line) {
 			t.Errorf("metrics output missing %q", line)
@@ -514,8 +518,8 @@ func TestSweepsEndpointContent(t *testing.T) {
 		t.Fatalf("status = %d, body: %s", resp.StatusCode, body)
 	}
 	var doc struct {
-		Sweeps      int  `json:"sweeps"`
-		MissingDays int  `json:"missing_days"`
+		Sweeps      int `json:"sweeps"`
+		MissingDays int `json:"missing_days"`
 		Days        []struct {
 			Day        string `json:"day"`
 			Missing    bool   `json:"missing"`

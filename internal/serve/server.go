@@ -532,4 +532,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.WriteTo(w)
 	writeSweepCacheMetrics(w, s.study.Stats)
+	writeStoreMemMetrics(w, s.study.Store.MemStats())
 }

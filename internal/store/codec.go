@@ -38,6 +38,12 @@ import (
 // actually present before anything is allocated. Version 1 (no MX
 // section) and version 2 files — the unframed legacy stream — are still
 // readable.
+//
+// The decoder feeds the columnar store directly: a domain record's
+// epochs are appended to the epoch columns and its configs interned from
+// views into the section payload, so reading a paper-scale file never
+// materializes per-epoch structs — the only allocations proportional to
+// content are for configurations never seen before.
 
 const (
 	magic   = "WRST"
@@ -137,68 +143,85 @@ func (e *encoder) config(c Config, domain string) {
 	e.strs(c.MXHosts, domain+" MX host")
 }
 
-// WriteTo serializes the store in the version-3 format.
-func (s *Store) WriteTo(w io.Writer) (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	bw := bufio.NewWriter(w)
-	cw := &countingWriter{w: bw}
-	cw.write([]byte(magic))
+// sectionWriter emits the v3 file shape: the magic+version header, then
+// length-framed CRC32C sections. Store.WriteTo and the test oracle
+// ReferenceStore.WriteTo share it, so the columnar and reference
+// representations cannot drift in framing.
+type sectionWriter struct {
+	bw *bufio.Writer
+	cw countingWriter
+}
+
+func newSectionWriter(w io.Writer) *sectionWriter {
+	sw := &sectionWriter{bw: bufio.NewWriter(w)}
+	sw.cw.w = sw.bw
+	sw.cw.write([]byte(magic))
 	var vb [2]byte
 	binary.BigEndian.PutUint16(vb[:], version)
-	cw.write(vb[:])
+	sw.cw.write(vb[:])
+	return sw
+}
 
-	section := func(build func(e *encoder)) error {
-		var e encoder
-		build(&e)
-		if e.err != nil {
-			return e.err
-		}
-		payload := e.buf.Bytes()
-		var hdr [4]byte
-		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-		cw.write(hdr[:])
-		cw.write(payload)
-		var crc [4]byte
-		binary.BigEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))
-		cw.write(crc[:])
-		return cw.err
+func (sw *sectionWriter) section(build func(e *encoder)) error {
+	var e encoder
+	build(&e)
+	if e.err != nil {
+		return e.err
 	}
+	payload := e.buf.Bytes()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	sw.cw.write(hdr[:])
+	sw.cw.write(payload)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))
+	sw.cw.write(crc[:])
+	return sw.cw.err
+}
 
-	if err := section(func(e *encoder) { e.days(s.sweeps, "sweep") }); err != nil {
-		return cw.n, err
+func (sw *sectionWriter) close() (int64, error) {
+	if sw.cw.err == nil {
+		sw.cw.err = sw.bw.Flush()
 	}
-	if err := section(func(e *encoder) { e.days(s.missing, "missing sweep") }); err != nil {
-		return cw.n, err
+	return sw.cw.n, sw.cw.err
+}
+
+// WriteTo serializes the store in the version-3 format, reading epochs
+// straight out of the columns. The bytes are identical to what the
+// pre-columnar representation wrote: interning changes where a config's
+// slices live, never their contents, and the encoder only ever sees
+// contents.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	idx, ord := s.sortedView() // sorted for deterministic output
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sw := newSectionWriter(w)
+	if err := sw.section(func(e *encoder) { e.days(s.sweeps, "sweep") }); err != nil {
+		return sw.cw.n, err
 	}
-	domains := make([]string, 0, len(s.domains))
-	for d := range s.domains {
-		domains = append(domains, d)
+	if err := sw.section(func(e *encoder) { e.days(s.missing, "missing sweep") }); err != nil {
+		return sw.cw.n, err
 	}
-	// Sorted for deterministic output.
-	sort.Strings(domains)
-	if err := section(func(e *encoder) { e.u32(len(domains), "domain count") }); err != nil {
-		return cw.n, err
+	if err := sw.section(func(e *encoder) { e.u32(len(idx), "domain count") }); err != nil {
+		return sw.cw.n, err
 	}
-	for _, name := range domains {
-		ds := s.domains[name]
-		err := section(func(e *encoder) {
+	for i, name := range idx {
+		d := ord[i]
+		o, n := s.off[d], s.cnt[d]
+		err := sw.section(func(e *encoder) {
 			e.str(name, "domain name")
-			e.u32(len(ds.epochs), name+" epoch count")
-			for _, ep := range ds.epochs {
-				e.i32(int32(ep.from))
-				e.i32(int32(ep.lastSeen))
-				e.config(ep.config, name)
+			e.u32(int(n), name+" epoch count")
+			for j := uint32(0); j < n; j++ {
+				e.i32(int32(s.epochFrom[o+j]))
+				e.i32(int32(s.epochLast[o+j]))
+				e.config(s.intern.config(s.epochCfg[o+j]), name)
 			}
 		})
 		if err != nil {
-			return cw.n, err
+			return sw.cw.n, err
 		}
 	}
-	if cw.err == nil {
-		cw.err = bw.Flush()
-	}
-	return cw.n, cw.err
+	return sw.close()
 }
 
 type countingWriter struct {
@@ -340,7 +363,7 @@ func (r *byteReader) addrs(what string) []netip.Addr {
 
 func (r *byteReader) days(what string) []simtime.Day {
 	n := r.count32(4, what)
-	if r.err != nil {
+	if n == 0 || r.err != nil {
 		return nil
 	}
 	out := make([]simtime.Day, 0, n)
@@ -361,6 +384,133 @@ func (r *byteReader) config(domain string) Config {
 	c.ApexAddrs = r.addrs(domain + " apex addr")
 	c.MXHosts = r.strs(domain + " MX host")
 	return c
+}
+
+// The *Ctx variants below are the hot-path twins of take/u8/u16/count16:
+// they carry the domain name as separate context and assemble the error
+// label ("<domain> <field>") only when something is actually wrong. The
+// plain variants concatenate eagerly, which is fine once per section but
+// would be an allocation per epoch on the scratch decode path.
+
+func (r *byteReader) takeCtx(n int, ctx, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.remaining() {
+		r.fail("%s %s: need %d bytes, %d remain", ctx, what, n, r.remaining())
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *byteReader) u8Ctx(ctx, what string) byte {
+	b := r.takeCtx(1, ctx, what)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u16Ctx(ctx, what string) int {
+	b := r.takeCtx(2, ctx, what)
+	if b == nil {
+		return 0
+	}
+	return int(binary.BigEndian.Uint16(b))
+}
+
+func (r *byteReader) i32Ctx(ctx, what string) int32 {
+	b := r.takeCtx(4, ctx, what)
+	if b == nil {
+		return 0
+	}
+	return int32(binary.BigEndian.Uint32(b))
+}
+
+func (r *byteReader) count32Ctx(elemMin int, ctx, what string) int {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 4 {
+		r.fail("%s %s count: need 4 bytes, %d remain", ctx, what, r.remaining())
+		return 0
+	}
+	n := int(binary.BigEndian.Uint32(r.b[r.off:]))
+	r.off += 4
+	if elemMin > 0 && n > r.remaining()/elemMin {
+		r.fail("%s %s count %d exceeds remaining %d bytes", ctx, what, n, r.remaining())
+		return 0
+	}
+	return n
+}
+
+func (r *byteReader) count16Ctx(elemMin int, ctx, what string) int {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 2 {
+		r.fail("%s %s count: need 2 bytes, %d remain", ctx, what, r.remaining())
+		return 0
+	}
+	n := int(binary.BigEndian.Uint16(r.b[r.off:]))
+	r.off += 2
+	if n*elemMin > r.remaining() {
+		r.fail("%s %s count %d exceeds remaining %d bytes", ctx, what, n, r.remaining())
+		return 0
+	}
+	return n
+}
+
+// hostsInto decodes a hostname list into dst (capacity reused across
+// epochs); the returned entries alias the payload.
+func (r *byteReader) hostsInto(dst [][]byte, ctx, what string) [][]byte {
+	dst = dst[:0]
+	n := r.count16Ctx(2, ctx, what)
+	if n == 0 || r.err != nil {
+		return dst
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		if r.remaining() < 2 {
+			r.fail("%s %s length: need 2 bytes, %d remain", ctx, what, r.remaining())
+			break
+		}
+		m := int(binary.BigEndian.Uint16(r.b[r.off:]))
+		r.off += 2
+		if b := r.takeCtx(m, ctx, what); b != nil {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// addrsInto is addrs with a reused destination.
+func (r *byteReader) addrsInto(dst []netip.Addr, ctx, what string) []netip.Addr {
+	dst = dst[:0]
+	n := r.count16Ctx(4, ctx, what)
+	if n == 0 || r.err != nil {
+		return dst
+	}
+	for i := 0; i < n; i++ {
+		b := r.takeCtx(4, ctx, what)
+		if b == nil {
+			return dst
+		}
+		dst = append(dst, netip.AddrFrom4([4]byte(b)))
+	}
+	return dst
+}
+
+// configInto decodes a config into the reusable scratch, allocating
+// nothing: hostname entries are views into the payload, materialized
+// only if the intern table has never seen the config.
+func (r *byteReader) configInto(sc *scratchConfig, domain string) {
+	sc.failed = r.u8Ctx(domain, "failed flag") == 1
+	sc.nsHosts = r.hostsInto(sc.nsHosts, domain, "NS host")
+	sc.nsAddrs = r.addrsInto(sc.nsAddrs, domain, "NS addr")
+	sc.apexAddrs = r.addrsInto(sc.apexAddrs, domain, "apex addr")
+	sc.mxHosts = r.hostsInto(sc.mxHosts, domain, "MX host")
 }
 
 // readFullN reads exactly n bytes without trusting n for the allocation:
@@ -404,6 +554,17 @@ func readSection(r io.Reader, maxLen int, what string) ([]byte, error) {
 	}
 	if got, want := crc32.Checksum(payload, crcTable), binary.BigEndian.Uint32(crcb[:]); got != want {
 		return nil, corrupt("%s: checksum mismatch (%08x != %08x)", what, got, want)
+	}
+	return payload, nil
+}
+
+// readRecordSection is readSection for the i-th of n domain records,
+// appending the record position only if the read actually fails (a
+// Sprintf per record would be an allocation per domain at paper scale).
+func readRecordSection(r io.Reader, i, n int) ([]byte, error) {
+	payload, err := readSection(r, maxDomainRecordBytes, "domain record")
+	if err != nil {
+		return nil, fmt.Errorf("%v (record %d/%d)", err, i, n)
 	}
 	return payload, nil
 }
@@ -476,6 +637,30 @@ func ascending(days []simtime.Day) bool {
 	return true
 }
 
+// truncateRows discards column rows appended past mark: the decoders'
+// rollback for a domain record that fails mid-parse (only complete
+// records count as recovered).
+func (s *Store) truncateRows(mark int) {
+	s.epochFrom = s.epochFrom[:mark]
+	s.epochLast = s.epochLast[:mark]
+	s.epochCfg = s.epochCfg[:mark]
+}
+
+// adoptTailRows registers name as owning the nRows rows at the column
+// tail. The decoders append one domain's rows contiguously and then
+// adopt them, so a failed record never leaves a registered domain
+// behind.
+func (s *Store) adoptTailRows(name string, nRows int) {
+	d := uint32(len(s.names))
+	s.byName[name] = d
+	s.names = append(s.names, name)
+	s.off = append(s.off, uint32(len(s.epochFrom)-nRows))
+	s.cnt = append(s.cnt, uint32(nRows))
+	s.nameBytes += int64(len(name))
+	s.live += int64(nRows)
+	s.index, s.order = nil, nil
+}
+
 func decodeV3(src io.Reader, tolerant bool) (*Store, *Recovery, error) {
 	rec := &Recovery{Version: version}
 	s := New()
@@ -533,20 +718,24 @@ func decodeV3(src io.Reader, tolerant bool) (*Store, *Recovery, error) {
 	nDomains := int(binary.BigEndian.Uint32(countPayload))
 	rec.ExpectedDomains = nDomains
 
+	var sc scratchConfig
+	var br byteReader
 	for i := 0; i < nDomains; i++ {
-		payload, err := readSection(src, maxDomainRecordBytes, fmt.Sprintf("domain %d/%d", i+1, nDomains))
+		payload, err := readRecordSection(src, i+1, nDomains)
 		if err != nil {
 			return damage(err)
 		}
-		name, ds, err := decodeDomainRecord(payload)
+		mark := len(s.epochFrom)
+		name, nRows, err := s.decodeDomainRecord(payload, &br, &sc)
 		if err != nil {
 			return damage(err)
 		}
-		if _, dup := s.domains[name]; dup {
+		if _, dup := s.byName[name]; dup {
+			s.truncateRows(mark)
 			return damage(corrupt("duplicate domain record %q", name))
 		}
 		off += int64(8 + len(payload))
-		s.domains[name] = ds
+		s.adoptTailRows(name, nRows)
 		rec.Domains++
 	}
 	rec.GoodBytes = off
@@ -554,30 +743,39 @@ func decodeV3(src io.Reader, tolerant bool) (*Store, *Recovery, error) {
 	return s, rec, nil
 }
 
-// decodeDomainRecord parses one framed domain section payload.
-func decodeDomainRecord(payload []byte) (string, *domainSeries, error) {
-	r := &byteReader{b: payload}
+// decodeDomainRecord parses one framed domain section payload, appending
+// its epochs to the column tail (rolled back on error). It returns the
+// domain name and the number of rows appended; the caller adopts them.
+// r is caller-owned scratch, reset here, so record decode allocates only
+// the name string and whatever interning a never-seen config requires.
+func (s *Store) decodeDomainRecord(payload []byte, r *byteReader, sc *scratchConfig) (string, int, error) {
+	*r = byteReader{b: payload}
 	name := r.str("domain name")
 	// Minimum epoch: from+lastSeen (8) + failed (1) + four empty counts (8).
-	nEpochs := r.count32(17, name+" epoch")
+	nEpochs := r.count32Ctx(17, name, "epoch")
 	if r.err != nil {
-		return "", nil, r.err
+		return "", 0, r.err
 	}
-	ds := &domainSeries{epochs: make([]epoch, 0, nEpochs)}
+	mark := len(s.epochFrom)
 	for j := 0; j < nEpochs && r.err == nil; j++ {
-		var e epoch
-		e.from = simtime.Day(r.i32(name + " epoch from"))
-		e.lastSeen = simtime.Day(r.i32(name + " epoch lastSeen"))
-		e.config = r.config(name)
-		ds.epochs = append(ds.epochs, e)
+		from := simtime.Day(r.i32Ctx(name, "epoch from"))
+		last := simtime.Day(r.i32Ctx(name, "epoch lastSeen"))
+		r.configInto(sc, name)
+		if r.err != nil {
+			break
+		}
+		s.epochFrom = append(s.epochFrom, from)
+		s.epochLast = append(s.epochLast, last)
+		s.epochCfg = append(s.epochCfg, s.intern.internScratch(sc))
 	}
 	if r.err == nil && r.remaining() != 0 {
 		r.fail("%s: %d trailing bytes in domain record", name, r.remaining())
 	}
 	if r.err != nil {
-		return "", nil, r.err
+		s.truncateRows(mark)
+		return "", 0, r.err
 	}
-	return name, ds, nil
+	return name, len(s.epochFrom) - mark, nil
 }
 
 // capHint bounds a pre-allocation by what the input could plausibly
@@ -594,6 +792,9 @@ func capHint(n, max int) int {
 // decodeLegacy reads the unframed version 1/2 stream. Counts cannot be
 // checked against a section length here, so allocations are capped and
 // truncation surfaces as a read error at the point the data runs out.
+// Epochs land in the columns exactly as in the v3 path; the transient
+// per-epoch Config is tolerable because legacy files predate paper
+// scale.
 func decodeLegacy(src io.Reader, v int, tolerant bool) (*Store, *Recovery, error) {
 	rec := &Recovery{Version: v}
 	r := &reader{r: bufio.NewReader(src)}
@@ -617,36 +818,41 @@ func decodeLegacy(src io.Reader, v int, tolerant bool) (*Store, *Recovery, error
 	}
 	for i := 0; i < nDomains; i++ {
 		name := r.str()
-		if _, dup := s.domains[name]; dup && r.err == nil {
+		if _, dup := s.byName[name]; dup && r.err == nil {
 			r.err = corrupt("duplicate domain record %q", name)
 		}
 		nEpochs := int(r.u32())
-		ds := &domainSeries{epochs: make([]epoch, 0, capHint(nEpochs, 1024))}
+		mark := len(s.epochFrom)
 		for j := 0; j < nEpochs && r.err == nil; j++ {
-			var e epoch
-			e.from = simtime.Day(r.i32())
-			e.lastSeen = simtime.Day(r.i32())
+			from := simtime.Day(r.i32())
+			last := simtime.Day(r.i32())
+			var c Config
 			flags := r.bytes(1)
 			if flags != nil {
-				e.config.Failed = flags[0] == 1
+				c.Failed = flags[0] == 1
 			}
 			nHosts := int(r.u16())
 			for k := 0; k < nHosts && r.err == nil; k++ {
-				e.config.NSHosts = append(e.config.NSHosts, r.str())
+				c.NSHosts = append(c.NSHosts, r.str())
 			}
-			e.config.NSAddrs = r.addrs()
-			e.config.ApexAddrs = r.addrs()
+			c.NSAddrs = r.addrs()
+			c.ApexAddrs = r.addrs()
 			if v >= 2 {
 				nMX := int(r.u16())
 				for k := 0; k < nMX && r.err == nil; k++ {
-					e.config.MXHosts = append(e.config.MXHosts, r.str())
+					c.MXHosts = append(c.MXHosts, r.str())
 				}
 			}
-			ds.epochs = append(ds.epochs, e)
+			if r.err == nil {
+				s.epochFrom = append(s.epochFrom, from)
+				s.epochLast = append(s.epochLast, last)
+				s.epochCfg = append(s.epochCfg, s.intern.intern(c))
+			}
 		}
 		if r.err != nil {
 			// Drop the partially-decoded domain: only complete records
 			// count as recovered.
+			s.truncateRows(mark)
 			if tolerant {
 				rec.Damaged = true
 				rec.Reason = r.err.Error()
@@ -655,7 +861,7 @@ func decodeLegacy(src io.Reader, v int, tolerant bool) (*Store, *Recovery, error
 			}
 			return nil, nil, corrupt("decode: %v", r.err)
 		}
-		s.domains[name] = ds
+		s.adoptTailRows(name, len(s.epochFrom)-mark)
 		rec.Domains++
 	}
 	s.rebuildNaive()
@@ -666,9 +872,10 @@ func decodeLegacy(src io.Reader, v int, tolerant bool) (*Store, *Recovery, error
 // the sweep schedule: each epoch spans the sweeps in [from, lastSeen].
 func (s *Store) rebuildNaive() {
 	s.naive = 0
-	for _, ds := range s.domains {
-		for _, e := range ds.epochs {
-			s.naive += int64(countSweepsIn(s.sweeps, e.from, e.lastSeen))
+	for d := range s.names {
+		o, n := s.off[d], s.cnt[d]
+		for j := uint32(0); j < n; j++ {
+			s.naive += int64(countSweepsIn(s.sweeps, s.epochFrom[o+j], s.epochLast[o+j]))
 		}
 	}
 }

@@ -14,7 +14,9 @@ import (
 
 // buildStore populates a store with nDomains domains over a handful of
 // sweeps, including config changes, a failed epoch, and missing days.
-func buildStore(nDomains int) *Store {
+func buildStore(nDomains int) *Store { return buildStoreOpts(nDomains, true) }
+
+func buildStoreOpts(nDomains int, withMX bool) *Store {
 	s := New()
 	for i := 0; i < 8; i++ {
 		day := simtime.Day(500 + i*7)
@@ -25,7 +27,9 @@ func buildStore(nDomains int) *Store {
 				[]string{fmt.Sprintf("11.%d.0.%d", j%4, j%3+1)},
 				[]string{fmt.Sprintf("11.%d.1.%d", j%4, j%3+1)},
 			)
-			c.MXHosts = []string{fmt.Sprintf("mx.prov%d.ru.", j%4)}
+			if withMX {
+				c.MXHosts = []string{fmt.Sprintf("mx.prov%d.ru.", j%4)}
+			}
 			if j == 3 && i == 5 {
 				c = Config{Failed: true}
 			}
@@ -35,6 +39,32 @@ func buildStore(nDomains int) *Store {
 	s.MarkMissingSweep(521)
 	s.MarkMissingSweep(507)
 	return s
+}
+
+// epochView is a test-only materialized epoch; epochsOf reads a domain's
+// rows out of the columns for fixtures that need raw epoch boundaries.
+type epochView struct {
+	from, lastSeen simtime.Day
+	config         Config
+}
+
+func epochsOf(s *Store, name string) []epochView {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.byName[name]
+	if !ok {
+		return nil
+	}
+	o, n := s.off[d], s.cnt[d]
+	out := make([]epochView, 0, n)
+	for j := uint32(0); j < n; j++ {
+		out = append(out, epochView{
+			from:     s.epochFrom[o+j],
+			lastSeen: s.epochLast[o+j],
+			config:   s.intern.config(s.epochCfg[o+j]),
+		})
+	}
+	return out
 }
 
 func storesEqual(t *testing.T, a, b *Store) {
@@ -214,9 +244,7 @@ func TestWriteToRejectsOverflow(t *testing.T) {
 		hosts[i] = fmt.Sprintf("ns%d.ru.", i)
 	}
 	s := New()
-	s.domains["big.ru."] = &domainSeries{epochs: []epoch{{
-		from: 1, lastSeen: 1, config: Config{NSHosts: hosts},
-	}}}
+	s.Add(Measurement{Domain: "big.ru.", Day: 1, Config: Config{NSHosts: hosts}})
 	var buf bytes.Buffer
 	if _, err := s.WriteTo(&buf); err == nil {
 		t.Fatal("70k NS hosts silently truncated to u16")
@@ -243,10 +271,9 @@ func legacyEncode(v int, s *Store) []byte {
 	}
 	for _, name := range doms {
 		str(name)
-		h := s.History(name)
-		out = binary.BigEndian.AppendUint32(out, uint32(len(h)))
-		ds := s.domains[name]
-		for _, ep := range ds.epochs {
+		eps := epochsOf(s, name)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(eps)))
+		for _, ep := range eps {
 			out = binary.BigEndian.AppendUint32(out, uint32(int32(ep.from)))
 			out = binary.BigEndian.AppendUint32(out, uint32(int32(ep.lastSeen)))
 			if ep.config.Failed {
@@ -284,15 +311,8 @@ func legacyEncode(v int, s *Store) []byte {
 // produces a valid v3 file.
 func TestLegacyFormatsStillReadable(t *testing.T) {
 	for _, v := range []int{1, 2} {
-		s := buildStore(6)
-		if v == 1 {
-			// v1 predates MX collection.
-			for _, ds := range s.domains {
-				for i := range ds.epochs {
-					ds.epochs[i].config.MXHosts = nil
-				}
-			}
-		}
+		// v1 predates MX collection, so its fixture carries none.
+		s := buildStoreOpts(6, v >= 2)
 		raw := legacyEncode(v, s)
 		back, err := Read(bytes.NewReader(raw))
 		if err != nil {
@@ -342,13 +362,17 @@ func TestMarkMissingSweep(t *testing.T) {
 	for _, d := range []simtime.Day{30, 10, 20, 10, 30} {
 		s.MarkMissingSweep(d)
 	}
-	if got := s.MissingSweeps(); !reflect.DeepEqual(got, []simtime.Day{10, 20, 30}) {
+	got := s.MissingSweeps()
+	if !reflect.DeepEqual(got, []simtime.Day{10, 20, 30}) {
 		t.Fatalf("MissingSweeps = %v", got)
 	}
-	// The returned slice is a copy.
-	got := s.MissingSweeps()
-	got[0] = 99
-	if s.MissingSweeps()[0] != 10 {
-		t.Fatal("MissingSweeps shares internal state")
+	// The returned slice is immutable: later marks build a fresh slice
+	// (copy-on-write) instead of mutating the one already handed out.
+	s.MarkMissingSweep(5)
+	if !reflect.DeepEqual(got, []simtime.Day{10, 20, 30}) {
+		t.Fatalf("earlier snapshot mutated by MarkMissingSweep: %v", got)
+	}
+	if now := s.MissingSweeps(); !reflect.DeepEqual(now, []simtime.Day{5, 10, 20, 30}) {
+		t.Fatalf("MissingSweeps after new mark = %v", now)
 	}
 }

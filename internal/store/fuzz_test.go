@@ -15,13 +15,7 @@ func fuzzSeedStore() ([]byte, []byte, []byte) {
 		panic(err)
 	}
 	v2 := legacyEncode(2, s)
-	s1 := buildStore(3)
-	for _, ds := range s1.domains {
-		for i := range ds.epochs {
-			ds.epochs[i].config.MXHosts = nil
-		}
-	}
-	v1 := legacyEncode(1, s1)
+	v1 := legacyEncode(1, buildStoreOpts(3, false))
 	return v3.Bytes(), v2, v1
 }
 

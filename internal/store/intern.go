@@ -1,0 +1,232 @@
+package store
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// internTable hash-conses Configs: every distinct configuration is stored
+// once and addressed by a dense uint32 ID. This is what makes the
+// columnar store paper-scale — hosting configurations are massively
+// redundant (a handful of providers serve most of the zone), so the
+// store pays for each distinct Config once, not once per domain-epoch.
+//
+// Two layers of sharing:
+//
+//   - Config identity: an unambiguous byte encoding of the config is the
+//     key of ids; equal configs (same section contents in the same
+//     order) always map to the same ID.
+//   - Storage: the canonical Config's slices are sub-slices of shared
+//     append-only arenas (hostArena, addrArena), and every hostname
+//     string is canonicalized through strs, so a name-server name
+//     appearing in a million configs holds its bytes once.
+//
+// The arenas only ever append; growing them reallocates the backing
+// array but previously returned sub-slices keep pointing at the old one,
+// so canonical Configs handed out earlier stay valid forever. That
+// append-only discipline is also what lets Snapshot alias the configs
+// table instead of copying it.
+//
+// The table does not normalize: callers pass exactly the Config they
+// want stored (Add normalizes first, the decoders pass file contents
+// verbatim), so interning is invisible to every reader — it changes
+// where bytes live, never what a lookup returns.
+type internTable struct {
+	ids     map[string]uint32 // encoded config -> ID
+	configs []Config          // ID -> canonical pooled config
+	strs    map[string]string // canonical hostname instances
+
+	hostArena []string
+	addrArena []netip.Addr
+
+	key []byte // reusable key-encoding scratch
+
+	hostBytes int64 // bytes held by distinct hostname strings
+	keyBytes  int64 // bytes held by interned config keys
+}
+
+func (t *internTable) init() {
+	t.ids = make(map[string]uint32)
+	t.strs = make(map[string]string)
+}
+
+// config returns the canonical Config for id. The value's slices alias
+// the shared pools and must be treated as read-only.
+func (t *internTable) config(id uint32) Config { return t.configs[id] }
+
+// view returns the configs table frozen at its current length, safe to
+// read concurrently with further interning (the slice is append-only).
+func (t *internTable) view() []Config {
+	return t.configs[:len(t.configs):len(t.configs)]
+}
+
+// intern returns the ID for c, registering it on first sight. c is
+// stored as given (no normalization); its slices are copied into the
+// pools, so the caller's backing arrays are not retained.
+func (t *internTable) intern(c Config) uint32 {
+	k := t.key[:0]
+	k = appendFailedKey(k, c.Failed)
+	k = appendHostsKey(k, c.NSHosts)
+	k = appendAddrsKey(k, c.NSAddrs)
+	k = appendAddrsKey(k, c.ApexAddrs)
+	k = appendHostsKey(k, c.MXHosts)
+	t.key = k
+	if id, ok := t.ids[string(k)]; ok {
+		return id
+	}
+	return t.add(k, Config{
+		NSHosts:   t.internHosts(c.NSHosts),
+		NSAddrs:   t.internAddrs(c.NSAddrs),
+		ApexAddrs: t.internAddrs(c.ApexAddrs),
+		MXHosts:   t.internHosts(c.MXHosts),
+		Failed:    c.Failed,
+	})
+}
+
+// scratchConfig is a decoded config whose hostnames still alias the
+// section payload. The decode path interns from it directly so a
+// paper-scale file read allocates strings only for configs never seen
+// before, never per epoch.
+type scratchConfig struct {
+	failed             bool
+	nsHosts, mxHosts   [][]byte
+	nsAddrs, apexAddrs []netip.Addr
+}
+
+// internScratch is intern for a scratchConfig. It must produce exactly
+// the ID intern would for the equivalent Config — the key encodings are
+// kept byte-identical (TestInternScratchAgreesWithIntern pins this).
+func (t *internTable) internScratch(sc *scratchConfig) uint32 {
+	k := t.key[:0]
+	k = appendFailedKey(k, sc.failed)
+	k = appendHostBytesKey(k, sc.nsHosts)
+	k = appendAddrsKey(k, sc.nsAddrs)
+	k = appendAddrsKey(k, sc.apexAddrs)
+	k = appendHostBytesKey(k, sc.mxHosts)
+	t.key = k
+	if id, ok := t.ids[string(k)]; ok {
+		return id
+	}
+	return t.add(k, Config{
+		NSHosts:   t.internHostBytes(sc.nsHosts),
+		NSAddrs:   t.internAddrs(sc.nsAddrs),
+		ApexAddrs: t.internAddrs(sc.apexAddrs),
+		MXHosts:   t.internHostBytes(sc.mxHosts),
+		Failed:    sc.failed,
+	})
+}
+
+func (t *internTable) add(key []byte, canonical Config) uint32 {
+	id := uint32(len(t.configs))
+	t.ids[string(key)] = id
+	t.keyBytes += int64(len(key))
+	t.configs = append(t.configs, canonical)
+	return id
+}
+
+func (t *internTable) internHosts(hs []string) []string {
+	if len(hs) == 0 {
+		return nil
+	}
+	start := len(t.hostArena)
+	for _, h := range hs {
+		t.hostArena = append(t.hostArena, t.canon(h))
+	}
+	return t.hostArena[start:len(t.hostArena):len(t.hostArena)]
+}
+
+func (t *internTable) internHostBytes(hs [][]byte) []string {
+	if len(hs) == 0 {
+		return nil
+	}
+	start := len(t.hostArena)
+	for _, h := range hs {
+		t.hostArena = append(t.hostArena, t.canonBytes(h))
+	}
+	return t.hostArena[start:len(t.hostArena):len(t.hostArena)]
+}
+
+func (t *internTable) internAddrs(as []netip.Addr) []netip.Addr {
+	if len(as) == 0 {
+		return nil
+	}
+	start := len(t.addrArena)
+	t.addrArena = append(t.addrArena, as...)
+	return t.addrArena[start:len(t.addrArena):len(t.addrArena)]
+}
+
+// canon returns the canonical instance of h, registering it on first
+// sight.
+func (t *internTable) canon(h string) string {
+	if c, ok := t.strs[h]; ok {
+		return c
+	}
+	t.strs[h] = h
+	t.hostBytes += int64(len(h))
+	return h
+}
+
+// canonBytes is canon for a byte view; the map lookup on string(b) does
+// not allocate, so repeated hostnames cost nothing to look up.
+func (t *internTable) canonBytes(b []byte) string {
+	if c, ok := t.strs[string(b)]; ok {
+		return c
+	}
+	s := string(b)
+	t.strs[s] = s
+	t.hostBytes += int64(len(s))
+	return s
+}
+
+// The key encoding is an unambiguous serialization of a config's
+// contents: the failed flag, then each section with a uvarint count and
+// length-prefixed (hosts) or tagged fixed-width (addrs) elements. Two
+// configs encode to the same key iff their sections hold the same
+// elements in the same order.
+
+func appendFailedKey(k []byte, failed bool) []byte {
+	if failed {
+		return append(k, 1)
+	}
+	return append(k, 0)
+}
+
+func appendHostsKey(k []byte, hs []string) []byte {
+	k = binary.AppendUvarint(k, uint64(len(hs)))
+	for _, h := range hs {
+		k = binary.AppendUvarint(k, uint64(len(h)))
+		k = append(k, h...)
+	}
+	return k
+}
+
+func appendHostBytesKey(k []byte, hs [][]byte) []byte {
+	k = binary.AppendUvarint(k, uint64(len(hs)))
+	for _, h := range hs {
+		k = binary.AppendUvarint(k, uint64(len(h)))
+		k = append(k, h...)
+	}
+	return k
+}
+
+func appendAddrsKey(k []byte, as []netip.Addr) []byte {
+	k = binary.AppendUvarint(k, uint64(len(as)))
+	for _, a := range as {
+		switch {
+		case a.Is4():
+			b := a.As4()
+			k = append(k, 4)
+			k = append(k, b[:]...)
+		case a.IsValid():
+			b := a.As16()
+			k = append(k, 16)
+			k = append(k, b[:]...)
+			z := a.Zone()
+			k = binary.AppendUvarint(k, uint64(len(z)))
+			k = append(k, z...)
+		default:
+			k = append(k, 0)
+		}
+	}
+	return k
+}

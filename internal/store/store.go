@@ -6,6 +6,18 @@
 // per-day snapshots on the paper's five-year window (the ablation bench in
 // bench_test.go quantifies this) — while reconstructing the full snapshot
 // for any measured day.
+//
+// The in-memory representation is columnar and interned (DESIGN
+// "Columnar store"): epochs live in parallel global arrays — from and
+// lastSeen day columns plus a config-ID column — and every distinct
+// Config is stored once in a hash-consed intern table (intern.go). A
+// domain is a dense index selecting a contiguous row range, so the
+// per-epoch cost is 12 bytes of columns instead of a fat struct of
+// slices, which is what lets the paper-scale study (≈6.7M domains ×
+// 1,803 days) fit in memory. The representation is invisible at the API:
+// every reader returns the same values the pre-columnar store did, and
+// the v3 file bytes are identical (reference.go keeps the old
+// representation as the equivalence oracle for tests).
 package store
 
 import (
@@ -96,27 +108,55 @@ type Measurement struct {
 	Config Config
 }
 
-// epoch is a run of sweeps with an identical configuration.
-type epoch struct {
-	from, lastSeen simtime.Day
-	config         Config
-}
-
-type domainSeries struct {
-	epochs []epoch // sorted by from
-}
-
 // Store is the measurement database.
+//
+// Concurrency and aliasing rules the columns obey (Snapshot relies on
+// them):
+//
+//   - epochFrom and epochCfg entries are written once when a row is
+//     appended and never mutated in place.
+//   - epochLast is extended in place only while its row is the domain's
+//     column tail.
+//   - A domain that gains an epoch while another domain owns the column
+//     tail is relocated: its rows are copied to the tail and the old
+//     rows abandoned (dead) until compact rebuilds the columns into
+//     fresh arrays.
+//
+// So any reader holding a frozen length of epochFrom/epochCfg (and its
+// own copy of the mutable epochLast and per-domain offsets) sees an
+// immutable view, even while Add keeps appending.
 type Store struct {
-	mu      sync.RWMutex
-	domains map[string]*domainSeries
-	sweeps  []simtime.Day // sorted unique sweep days recorded
+	mu sync.RWMutex
+
+	intern internTable
+
+	// Domain index: byName maps a name to its dense index; names, off and
+	// cnt are parallel to it. Domain d's epochs are the rows
+	// [off[d], off[d]+cnt[d]) of the epoch columns.
+	byName map[string]uint32
+	names  []string
+	off    []uint32
+	cnt    []uint32
+
+	// Epoch columns (see the aliasing rules above).
+	epochFrom []simtime.Day
+	epochLast []simtime.Day
+	epochCfg  []uint32
+	live      int64 // live (reachable) epoch rows
+
+	sweeps []simtime.Day // sorted unique sweep days recorded; append-only
 	// missing holds scheduled-but-uncollected sweep days (sorted unique):
-	// collection outages the analyses must treat as gaps, not data.
+	// collection outages the analyses must treat as gaps, not data. It is
+	// copy-on-write — MarkMissingSweep installs a fresh slice — so
+	// MissingSweeps can return it without copying.
 	missing []simtime.Day
-	// index is the cached sorted domain list; nil means dirty (a domain
-	// was added since the last build). Rebuilt lazily by sortedIndex.
+
+	// index is the cached sorted domain list and order the matching dense
+	// index per position; nil index means dirty (a domain was added since
+	// the last build). Rebuilt lazily by sortedView.
 	index []string
+	order []uint32
+
 	// gen is the store revision, bumped on every mutation that changes
 	// what a reader could observe (Add, BeginSweep, MarkMissingSweep —
 	// and therefore also journal replay and file decode, which go
@@ -126,11 +166,15 @@ type Store struct {
 	// naive counts what the uncompressed record count would be, for the
 	// compression-ratio ablation.
 	naive int64
+	// nameBytes tracks domain-name string bytes for MemStats.
+	nameBytes int64
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{domains: make(map[string]*domainSeries)}
+	s := &Store{byName: make(map[string]uint32)}
+	s.intern.init()
+	return s
 }
 
 // BeginSweep registers a sweep day. Sweeps must be recorded in
@@ -156,9 +200,13 @@ func (s *Store) MarkMissingSweep(day simtime.Day) {
 	if i < len(s.missing) && s.missing[i] == day {
 		return
 	}
-	s.missing = append(s.missing, 0)
-	copy(s.missing[i+1:], s.missing[i:])
-	s.missing[i] = day
+	// Copy-on-write: readers hold the previous slice, so build the new
+	// list beside it instead of shifting in place.
+	out := make([]simtime.Day, len(s.missing)+1)
+	copy(out, s.missing[:i])
+	out[i] = day
+	copy(out[i+1:], s.missing[i:])
+	s.missing = out
 	s.gen++
 }
 
@@ -172,11 +220,14 @@ func (s *Store) Generation() uint64 {
 	return s.gen
 }
 
-// MissingSweeps returns the scheduled-but-uncollected sweep days.
+// MissingSweeps returns the scheduled-but-uncollected sweep days. The
+// slice is immutable (each mutation installs a fresh one) and shared:
+// callers must not modify it. Serve-layer handlers call this per
+// request, which is why it does not copy.
 func (s *Store) MissingSweeps() []simtime.Day {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]simtime.Day(nil), s.missing...)
+	return s.missing
 }
 
 // Add records a measurement. Measurements for one domain must arrive in
@@ -187,34 +238,90 @@ func (s *Store) Add(m Measurement) {
 	defer s.mu.Unlock()
 	s.naive++
 	s.gen++
-	ds, ok := s.domains[m.Domain]
+	cid := s.intern.intern(cfg)
+	d, ok := s.byName[m.Domain]
 	if !ok {
-		ds = &domainSeries{}
-		s.domains[m.Domain] = ds
-		s.index = nil // new domain invalidates the sorted index
+		d = uint32(len(s.names))
+		s.byName[m.Domain] = d
+		s.names = append(s.names, m.Domain)
+		s.off = append(s.off, uint32(len(s.epochFrom)))
+		s.cnt = append(s.cnt, 0)
+		s.nameBytes += int64(len(m.Domain))
+		s.index, s.order = nil, nil // new domain invalidates the sorted index
 	}
-	if n := len(ds.epochs); n > 0 && ds.epochs[n-1].config.Equal(cfg) && ds.epochs[n-1].lastSeen <= m.Day {
-		ds.epochs[n-1].lastSeen = m.Day
-		return
+	o, n := s.off[d], s.cnt[d]
+	if n > 0 {
+		tail := o + n - 1
+		if s.epochCfg[tail] == cid && s.epochLast[tail] <= m.Day {
+			s.epochLast[tail] = m.Day
+			return
+		}
+		if o+n != uint32(len(s.epochFrom)) {
+			// Another domain owns the column tail: relocate this domain's
+			// rows there, abandoning the old ones (compact reclaims them).
+			no := uint32(len(s.epochFrom))
+			s.epochFrom = append(s.epochFrom, s.epochFrom[o:o+n]...)
+			s.epochLast = append(s.epochLast, s.epochLast[o:o+n]...)
+			s.epochCfg = append(s.epochCfg, s.epochCfg[o:o+n]...)
+			s.off[d] = no
+		}
+	} else {
+		s.off[d] = uint32(len(s.epochFrom))
 	}
-	ds.epochs = append(ds.epochs, epoch{from: m.Day, lastSeen: m.Day, config: cfg})
+	s.epochFrom = append(s.epochFrom, m.Day)
+	s.epochLast = append(s.epochLast, m.Day)
+	s.epochCfg = append(s.epochCfg, cid)
+	s.cnt[d]++
+	s.live++
+	if dead := int64(len(s.epochFrom)) - s.live; dead > s.live && dead > 4096 {
+		s.compact()
+	}
+}
+
+// compact rebuilds the epoch columns without the dead rows relocation
+// left behind. Fresh arrays are allocated so snapshots aliasing the old
+// columns stay valid.
+func (s *Store) compact() {
+	from := make([]simtime.Day, 0, s.live)
+	last := make([]simtime.Day, 0, s.live)
+	cfg := make([]uint32, 0, s.live)
+	for d := range s.names {
+		o, n := s.off[d], s.cnt[d]
+		s.off[d] = uint32(len(from))
+		from = append(from, s.epochFrom[o:o+n]...)
+		last = append(last, s.epochLast[o:o+n]...)
+		cfg = append(cfg, s.epochCfg[o:o+n]...)
+	}
+	s.epochFrom, s.epochLast, s.epochCfg = from, last, cfg
+}
+
+// covering returns the index (within the n rows at offset o) of the
+// epoch whose run covers day — the last row with from <= day — and
+// whether one exists.
+func covering(from []simtime.Day, o, n uint32, day simtime.Day) (uint32, bool) {
+	j := uint32(sort.Search(int(n), func(k int) bool { return from[o+uint32(k)] > day }))
+	if j == 0 {
+		return 0, false
+	}
+	return j - 1, true
 }
 
 // At returns the configuration observed for domain at the most recent
 // sweep at or before day. ok is false when the domain has no measurement
-// by then.
+// by then. The returned config's slices alias the store's interned pools
+// and must be treated as read-only.
 func (s *Store) At(domain string, day simtime.Day) (Config, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	ds, ok := s.domains[domain]
+	d, ok := s.byName[domain]
 	if !ok {
 		return Config{}, false
 	}
-	return ds.at(day)
-}
-
-func (ds *domainSeries) at(day simtime.Day) (Config, bool) {
-	return epochAt(ds.epochs, day)
+	j, ok := covering(s.epochFrom, s.off[d], s.cnt[d], day)
+	if !ok {
+		return Config{}, false
+	}
+	return s.intern.config(s.epochCfg[s.off[d]+j]), true
 }
 
 // MeasuredOn reports whether the domain was seen on a sweep at or before
@@ -223,40 +330,51 @@ func (ds *domainSeries) at(day simtime.Day) (Config, bool) {
 func (s *Store) MeasuredOn(domain string, day simtime.Day) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	ds, ok := s.domains[domain]
+	d, ok := s.byName[domain]
 	if !ok {
 		return false
 	}
-	i := sort.Search(len(ds.epochs), func(i int) bool { return ds.epochs[i].from > day })
-	if i == 0 {
+	o, n := s.off[d], s.cnt[d]
+	j, ok := covering(s.epochFrom, o, n, day)
+	if !ok {
 		return false
 	}
 	// Measured if the covering epoch's run extends to (or past) day, or a
 	// later epoch exists (meaning the domain was still in the zone).
-	return i < len(ds.epochs) || ds.epochs[i-1].lastSeen >= day
+	return j+1 < n || s.epochLast[o+j] >= day
 }
 
-// sortedIndex returns the cached sorted domain list, rebuilding it when a
-// new domain has been added since the last build. The returned slice is
-// shared and must not be mutated.
-func (s *Store) sortedIndex() []string {
+// sortedView returns the cached sorted domain list and, parallel to it,
+// each position's dense index, rebuilding both when a new domain has
+// been added since the last build. The returned slices are shared and
+// must not be mutated.
+func (s *Store) sortedView() ([]string, []uint32) {
 	s.mu.RLock()
-	idx := s.index
+	idx, ord := s.index, s.order
 	s.mu.RUnlock()
 	if idx != nil {
-		return idx
+		return idx, ord
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.index == nil {
-		idx = make([]string, 0, len(s.domains))
-		for d := range s.domains {
-			idx = append(idx, d)
+		ord = make([]uint32, len(s.names))
+		for i := range ord {
+			ord[i] = uint32(i)
 		}
-		sort.Strings(idx)
-		s.index = idx
+		sort.Slice(ord, func(i, j int) bool { return s.names[ord[i]] < s.names[ord[j]] })
+		idx = make([]string, len(ord))
+		for i, d := range ord {
+			idx[i] = s.names[d]
+		}
+		s.index, s.order = idx, ord
 	}
-	return s.index
+	return s.index, s.order
+}
+
+func (s *Store) sortedIndex() []string {
+	idx, _ := s.sortedView()
+	return idx
 }
 
 // Domains returns all measured domain names, sorted.
@@ -268,14 +386,16 @@ func (s *Store) Domains() []string {
 func (s *Store) NumDomains() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.domains)
+	return len(s.names)
 }
 
-// Sweeps returns the recorded sweep days.
+// Sweeps returns the recorded sweep days. The slice is shared and
+// immutable through it (the store only ever appends past its length):
+// callers must not modify it.
 func (s *Store) Sweeps() []simtime.Day {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]simtime.Day(nil), s.sweeps...)
+	return s.sweeps[:len(s.sweeps):len(s.sweeps)]
 }
 
 // ForEachAt calls fn with every domain measured on day (per MeasuredOn)
@@ -283,18 +403,19 @@ func (s *Store) Sweeps() []simtime.Day {
 // view is gathered under a single read lock, then fn runs unlocked (so it
 // may call back into the store).
 func (s *Store) ForEachAt(day simtime.Day, fn func(domain string, cfg Config)) {
-	idx := s.sortedIndex()
+	idx, ord := s.sortedView()
 	type hit struct {
 		domain string
 		cfg    Config
 	}
 	hits := make([]hit, 0, len(idx))
 	s.mu.RLock()
-	for _, d := range idx {
-		ds := s.domains[d]
-		i := sort.Search(len(ds.epochs), func(i int) bool { return ds.epochs[i].from > day })
-		if i > 0 && (i < len(ds.epochs) || ds.epochs[i-1].lastSeen >= day) {
-			hits = append(hits, hit{domain: d, cfg: ds.epochs[i-1].config})
+	for i, domain := range idx {
+		d := ord[i]
+		o, n := s.off[d], s.cnt[d]
+		j, ok := covering(s.epochFrom, o, n, day)
+		if ok && (j+1 < n || s.epochLast[o+j] >= day) {
+			hits = append(hits, hit{domain: domain, cfg: s.intern.config(s.epochCfg[o+j])})
 		}
 	}
 	s.mu.RUnlock()
@@ -303,31 +424,44 @@ func (s *Store) ForEachAt(day simtime.Day, fn func(domain string, cfg Config)) {
 	}
 }
 
-// Snapshot is a read-only capture of the store: the sorted domain list and
-// every domain's epochs, copied under one lock. Analyses iterate a
-// Snapshot lock-free (and concurrently) while collection may continue to
-// mutate the live store.
+// Snapshot is a read-only capture of the store, sharing the immutable
+// columns with it. Analyses iterate a Snapshot lock-free (and
+// concurrently) while collection may continue to mutate the live store.
+//
+// The capture is cheap at paper scale because most of it is aliasing:
+// the from and config-ID columns, the intern table and the sorted name
+// list are append-only or frozen, so only the in-place-mutable state is
+// copied — the lastSeen column and the per-domain row offsets.
 type Snapshot struct {
-	domains []string
-	series  [][]epoch // parallel to domains
-	sweeps  []simtime.Day
+	domains  []string
+	off, cnt []uint32 // row range per domains position
+	from     []simtime.Day
+	last     []simtime.Day
+	cfg      []uint32
+	configs  []Config
+	sweeps   []simtime.Day
 }
 
 // Snapshot captures the store's current contents.
 func (s *Store) Snapshot() *Snapshot {
-	idx := s.sortedIndex()
+	idx, ord := s.sortedView()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	series := make([][]epoch, len(idx))
-	for i, d := range idx {
-		// Copy the epoch structs: Add mutates the live tail epoch's
-		// lastSeen in place. The configs' slices are immutable once stored.
-		series[i] = append([]epoch(nil), s.domains[d].epochs...)
+	off := make([]uint32, len(ord))
+	cnt := make([]uint32, len(ord))
+	for i, d := range ord {
+		off[i], cnt[i] = s.off[d], s.cnt[d]
 	}
+	rows := len(s.epochFrom)
 	return &Snapshot{
 		domains: idx,
-		series:  series,
-		sweeps:  append([]simtime.Day(nil), s.sweeps...),
+		off:     off,
+		cnt:     cnt,
+		from:    s.epochFrom[:rows:rows],
+		last:    append(make([]simtime.Day, 0, rows), s.epochLast...),
+		cfg:     s.epochCfg[:rows:rows],
+		configs: s.intern.view(),
+		sweeps:  s.sweeps[:len(s.sweeps):len(s.sweeps)],
 	}
 }
 
@@ -338,32 +472,30 @@ func (sn *Snapshot) Domains() []string { return sn.domains }
 // NumDomains returns the number of captured domains.
 func (sn *Snapshot) NumDomains() int { return len(sn.domains) }
 
-// Sweeps returns the sweep days captured in the snapshot.
+// Sweeps returns the sweep days captured in the snapshot. The slice is
+// shared and must not be mutated.
 func (sn *Snapshot) Sweeps() []simtime.Day { return sn.sweeps }
 
 // At returns the domain's configuration at day, with the same semantics as
 // Store.At.
 func (sn *Snapshot) At(i int, day simtime.Day) (Config, bool) {
-	return epochAt(sn.series[i], day)
+	o, n := sn.off[i], sn.cnt[i]
+	j, ok := covering(sn.from, o, n, day)
+	if !ok {
+		return Config{}, false
+	}
+	return sn.configs[sn.cfg[o+j]], true
 }
 
 // MeasuredAt reports whether domain i was measured on day, with the same
 // semantics as Store.MeasuredOn.
 func (sn *Snapshot) MeasuredAt(i int, day simtime.Day) bool {
-	es := sn.series[i]
-	j := sort.Search(len(es), func(j int) bool { return es[j].from > day })
-	if j == 0 {
+	o, n := sn.off[i], sn.cnt[i]
+	j, ok := covering(sn.from, o, n, day)
+	if !ok {
 		return false
 	}
-	return j < len(es) || es[j-1].lastSeen >= day
-}
-
-func epochAt(es []epoch, day simtime.Day) (Config, bool) {
-	i := sort.Search(len(es), func(i int) bool { return es[i].from > day })
-	if i == 0 {
-		return Config{}, false
-	}
-	return es[i-1].config, true
+	return j+1 < n || sn.last[o+j] >= day
 }
 
 // ForEachEpochIn yields every domain's epochs intersected with the sorted
@@ -375,7 +507,9 @@ func epochAt(es []epoch, day simtime.Day) (Config, bool) {
 // — exactly the days ForEachAt would report the domain measured.
 //
 // This is the analysis fast path: classification work that is constant
-// over an epoch runs once per epoch instead of once per day.
+// over an epoch runs once per epoch instead of once per day. The visit
+// itself allocates nothing — the config passed to fn is the interned
+// canonical instance read straight out of the columns.
 func (sn *Snapshot) ForEachEpochIn(days []simtime.Day, fn func(domain string, cfg Config, lo, hi int)) {
 	sn.VisitEpochs(days, 0, len(sn.domains), fn)
 }
@@ -391,20 +525,21 @@ func (sn *Snapshot) VisitEpochs(days []simtime.Day, first, last int, fn func(dom
 	}
 	for i := first; i < last; i++ {
 		domain := sn.domains[i]
-		es := sn.series[i]
+		o, n := int(sn.off[i]), int(sn.cnt[i])
 		lo := 0
-		for j, e := range es {
-			start := e.from
-			end := e.lastSeen
-			if j+1 < len(es) {
-				end = es[j+1].from - 1
+		for j := 0; j < n; j++ {
+			row := o + j
+			start := sn.from[row]
+			end := sn.last[row]
+			if j+1 < n {
+				end = sn.from[row+1] - 1
 			}
 			// Epochs ascend, so each search resumes where the last ended.
 			l := lo + sort.Search(len(days)-lo, func(k int) bool { return days[lo+k] >= start })
 			h := l + sort.Search(len(days)-l, func(k int) bool { return days[l+k] > end })
 			lo = h
 			if l < h {
-				fn(domain, e.config, l, h)
+				fn(domain, sn.configs[sn.cfg[row]], l, h)
 			}
 		}
 	}
@@ -422,25 +557,23 @@ type Stats struct {
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var epochs int64
-	for _, ds := range s.domains {
-		epochs += int64(len(ds.epochs))
-	}
-	return Stats{Domains: len(s.domains), Epochs: epochs, NaiveRecords: s.naive}
+	return Stats{Domains: len(s.names), Epochs: s.live, NaiveRecords: s.naive}
 }
 
 // History returns the epochs for one domain as (from, lastSeen, config)
-// triples, for inspection tools.
+// triples, for inspection tools. The configs alias the interned pools
+// and must be treated as read-only.
 func (s *Store) History(domain string) []Measurement {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	ds, ok := s.domains[domain]
+	d, ok := s.byName[domain]
 	if !ok {
 		return nil
 	}
-	out := make([]Measurement, len(ds.epochs))
-	for i, e := range ds.epochs {
-		out[i] = Measurement{Domain: domain, Day: e.from, Config: e.config}
+	o, n := s.off[d], s.cnt[d]
+	out := make([]Measurement, n)
+	for j := uint32(0); j < n; j++ {
+		out[j] = Measurement{Domain: domain, Day: s.epochFrom[o+j], Config: s.intern.config(s.epochCfg[o+j])}
 	}
 	return out
 }
