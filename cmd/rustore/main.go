@@ -28,9 +28,15 @@ import (
 	"strings"
 
 	"whereru/internal/dns"
+	"whereru/internal/iofault"
 	"whereru/internal/report"
 	"whereru/internal/store"
 )
+
+// fsys routes fsck's repair writes through the fault-injection FS
+// abstraction; tests and the chaos matrix swap in an iofault.FaultFS to
+// crash or starve the repair itself.
+var fsys iofault.FS = iofault.OS
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -130,24 +136,15 @@ func fsckStore(path string, repair bool) error {
 	if !repair {
 		return fmt.Errorf("fsck: %s holds recoverable damage (re-run with -repair to rewrite the recovered contents)", path)
 	}
-	// Rewrite atomically: the recovered store to a temp file, then rename
-	// over the damaged one. Repair always writes the current (v3) format.
-	tmp := path + ".fsck"
-	out, err := os.Create(tmp)
+	// Rewrite atomically and durably: temp file, fsync, rename, directory
+	// fsync — a power loss at any point leaves either the damaged (still
+	// recoverable) original or the complete repair, never neither. Repair
+	// always writes the current (v3) format.
+	err = iofault.WriteAtomic(fsys, path, func(w io.Writer) error {
+		_, err := st.WriteTo(w)
+		return err
+	})
 	if err != nil {
-		return err
-	}
-	if _, err := st.WriteTo(out); err != nil {
-		out.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := out.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
 		return err
 	}
 	fmt.Printf("  repaired: rewrote %d recovered domains\n", rec.Domains)
@@ -170,7 +167,7 @@ func fsckJournal(path string, repair bool) error {
 	if !repair {
 		return fmt.Errorf("fsck: %s has a torn tail (re-run with -repair to truncate it)", path)
 	}
-	after, err := store.RepairJournal(path)
+	after, err := store.RepairJournalFS(fsys, path)
 	if err != nil {
 		return err
 	}

@@ -21,6 +21,12 @@
 //	-drop DATES     comma-separated YYYY-MM-DD days to skip, simulating
 //	                collection outages (flagged as gaps in the analyses)
 //	-crash-after N  test hook: exit with code 3 after N checkpointed sweeps
+//	-io-fault SPEC  inject disk faults into the checkpoint journal and
+//	                -store write (e.g. "crash@4096", "enospc@1024",
+//	                "syncfail@2"; see internal/iofault.ParseProfile). An
+//	                injected crash exits with code 4.
+//	-io-fault-seed N  seed for probabilistic -io-fault classes (default 1);
+//	                the same seed replays the same faults byte-for-byte
 //	-quiet          suppress progress logging
 //
 // Distributed collection (internal/grid): sweeps can be sharded across
@@ -55,6 +61,7 @@ import (
 	"time"
 
 	"whereru/internal/core"
+	"whereru/internal/iofault"
 	"whereru/internal/openintel"
 	"whereru/internal/simtime"
 	"whereru/internal/store"
@@ -86,6 +93,8 @@ func run() error {
 	resume := flag.Bool("resume", false, "replay the -checkpoint journal, then continue from the first unswept day")
 	drop := flag.String("drop", "", "comma-separated YYYY-MM-DD sweep days to skip (simulated collection outages)")
 	crashAfter := flag.Int("crash-after", 0, "test hook: exit code 3 after N checkpointed sweeps")
+	ioFault := flag.String("io-fault", "", "disk fault profile for checkpoint/store writes (e.g. crash@4096,enospc@1024); injected crashes exit 4")
+	ioFaultSeed := flag.Int64("io-fault-seed", 1, "seed for probabilistic -io-fault classes")
 	gridListen := flag.String("grid-listen", "", "coordinate distributed sweeps on this host:port")
 	gridWorker := flag.String("grid-worker", "", "run as a grid measurement worker against the coordinator at host:port")
 	gridWorkers := flag.Int("grid-workers", 0, "spawn N in-process grid workers")
@@ -132,6 +141,20 @@ func run() error {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if *ioFault != "" {
+		profile, err := iofault.ParseProfile(*ioFault)
+		if err != nil {
+			return fmt.Errorf("-io-fault: %w", err)
+		}
+		// A crash-at-offset behaves like a hard kill: the process dies at
+		// that exact byte, with a distinct exit code so harnesses can tell
+		// an injected disk crash (4) from -crash-after's sweep crash (3).
+		profile.Crash = func(c *iofault.Crash) {
+			fmt.Fprintln(os.Stderr, "whereru:", c.Error())
+			os.Exit(4)
+		}
+		opts.FS = iofault.NewFaultFS(iofault.OS, *ioFaultSeed, profile)
 	}
 	if *gridWorker != "" {
 		// Worker mode: build a private world with the same flags the
@@ -202,15 +225,9 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "wrote CSV series to %s\n", *csvDir)
 	}
 	if *storePath != "" {
-		f, err := os.Create(*storePath)
-		if err != nil {
-			return err
-		}
-		if err := study.SaveStore(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		// Atomic replace: a crash mid-write must not destroy a previous
+		// good store at the same path.
+		if err := study.SaveStoreFile(*storePath); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *storePath)

@@ -14,6 +14,7 @@ import (
 	"whereru/internal/analysis"
 	"whereru/internal/dns"
 	"whereru/internal/grid"
+	"whereru/internal/iofault"
 	"whereru/internal/netsim"
 	"whereru/internal/openintel"
 	"whereru/internal/scan"
@@ -102,6 +103,11 @@ type Options struct {
 	// address before workers are awaited — how tests and operators learn
 	// the port when GridListen used port 0.
 	OnGridListen func(addr string)
+	// FS routes the study's durability-critical file I/O — the
+	// checkpoint journal and SaveStoreFile — through a filesystem
+	// abstraction. nil means the real OS; the chaos matrix installs an
+	// iofault.FaultFS here to crash collection at exact byte offsets.
+	FS iofault.FS
 	// ReferenceResolver routes every in-memory exchange through the
 	// preserved reference wire codec and disables cache-miss coalescing:
 	// the resolver stack exactly as it was before the fast path. The
@@ -285,7 +291,7 @@ func (s *Study) Collect(ctx context.Context) error {
 	done := map[simtime.Day]bool{}
 	if s.Opts.CheckpointPath != "" {
 		if s.Opts.Resume {
-			j, replay, err := store.OpenJournal(s.Opts.CheckpointPath)
+			j, replay, err := store.OpenJournalFS(s.fs(), s.Opts.CheckpointPath)
 			if err != nil {
 				return fmt.Errorf("core: opening checkpoint: %w", err)
 			}
@@ -298,7 +304,7 @@ func (s *Study) Collect(ctx context.Context) error {
 			s.Opts.Progress("resumed %d journaled sweeps from %s", len(replay.Sweeps), s.Opts.CheckpointPath)
 			pipe.Checkpoint = j
 		} else {
-			j, err := store.CreateJournal(s.Opts.CheckpointPath)
+			j, err := store.CreateJournalFS(s.fs(), s.Opts.CheckpointPath)
 			if err != nil {
 				return fmt.Errorf("core: creating checkpoint: %w", err)
 			}
@@ -362,6 +368,25 @@ func (s *Study) Collect(ctx context.Context) error {
 func (s *Study) SaveStore(w io.Writer) error {
 	_, err := s.Store.WriteTo(w)
 	return err
+}
+
+// fs resolves Options.FS, defaulting to the real filesystem.
+func (s *Study) fs() iofault.FS {
+	if s.Opts.FS != nil {
+		return s.Opts.FS
+	}
+	return iofault.OS
+}
+
+// SaveStoreFile durably writes the measurement store to path via an
+// atomic replace (temp file, fsync, rename, directory fsync): a crash
+// at any byte leaves either the previous store or the complete new one,
+// never a torn file.
+func (s *Study) SaveStoreFile(path string) error {
+	return iofault.WriteAtomic(s.fs(), path, func(w io.Writer) error {
+		_, err := s.Store.WriteTo(w)
+		return err
+	})
 }
 
 // Scale returns the study's population scale divisor.

@@ -1,0 +1,167 @@
+package iofault
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// ConnProfile configures a fault-injecting net.Conn wrapper. The zero
+// value injects nothing. Probabilities roll a pure hash of (seed,
+// write-index) per write, so a fixed seed degrades the same frame the
+// same way on every run — the transport-level sibling of Profile.
+type ConnProfile struct {
+	// Corrupt is the probability a qualifying write has one
+	// seed-chosen payload byte bit-flipped (a checksummed protocol must
+	// reject the frame).
+	Corrupt float64
+	// Cut is the probability a qualifying write is torn: half the bytes
+	// hit the wire, then the connection closes.
+	Cut float64
+	// Duplicate is the probability a qualifying write is sent twice —
+	// the same frame arriving again, which an at-most-once receiver
+	// must drop.
+	Duplicate float64
+	// Drip is the probability a qualifying write is delivered in
+	// DripChunk-byte pieces with DripDelay between them — a slow,
+	// fragmenting path that length-framed readers must reassemble.
+	Drip float64
+	// MinWriteLen exempts writes shorter than this (handshakes,
+	// heartbeats) from Corrupt/Cut/Duplicate/Drip.
+	MinWriteLen int
+	// Once limits the connection to a single injected fault; later
+	// writes pass through clean.
+	Once bool
+	// PartitionAfterWrites > 0 partitions the link after that many
+	// writes: subsequent writes are silently swallowed and reads never
+	// deliver — the peer sees pure silence, as across a netsplit.
+	PartitionAfterWrites int
+	// DripChunk is the fragment size for Drip (default 1 byte).
+	DripChunk int
+	// DripDelay is slept between Drip fragments (default none).
+	DripDelay time.Duration
+}
+
+// Conn wraps a net.Conn with deterministic transport faults. It was
+// born as the grid tests' seeded lossy conn; the grid's framing and
+// lease machinery are exercised against it, and any framed protocol
+// can be.
+type Conn struct {
+	net.Conn
+	seed uint64
+	prof ConnProfile
+
+	mu          sync.Mutex
+	writes      uint64
+	fired       bool
+	partitioned bool
+}
+
+// Conn-side hash salts.
+const (
+	saltConnCorrupt = 0x9E3779B97F4A7C15
+	saltConnCut     = 0xC2B2AE3D27D4EB4F
+	saltConnDup     = 0x165667B19E3779F9
+	saltConnDrip    = 0x27D4EB2F165667C5
+	saltConnPos     = 0x2545F4914F6CDD1D
+)
+
+// NewConn wraps inner with the profile's faults.
+func NewConn(inner net.Conn, seed int64, p ConnProfile) *Conn {
+	if p.DripChunk <= 0 {
+		p.DripChunk = 1
+	}
+	return &Conn{Conn: inner, seed: uint64(seed), prof: p}
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	op := c.writes
+	c.writes++
+	if c.prof.PartitionAfterWrites > 0 && c.writes > uint64(c.prof.PartitionAfterWrites) {
+		c.partitioned = true
+	}
+	if c.partitioned {
+		c.mu.Unlock()
+		// Swallowed whole: the sender believes it sent, nothing arrives.
+		return len(b), nil
+	}
+	mode := ""
+	if len(b) >= c.prof.MinWriteLen && !(c.prof.Once && c.fired) {
+		switch {
+		case c.prof.Cut > 0 && roll(c.seed, op, saltConnCut) < c.prof.Cut:
+			mode = "cut"
+		case c.prof.Corrupt > 0 && roll(c.seed, op, saltConnCorrupt) < c.prof.Corrupt:
+			mode = "corrupt"
+		case c.prof.Duplicate > 0 && roll(c.seed, op, saltConnDup) < c.prof.Duplicate:
+			mode = "dup"
+		case c.prof.Drip > 0 && roll(c.seed, op, saltConnDrip) < c.prof.Drip:
+			mode = "drip"
+		}
+		if mode != "" {
+			c.fired = true
+		}
+	}
+	c.mu.Unlock()
+
+	switch mode {
+	case "cut":
+		// Tear the frame: half the bytes hit the wire, the link dies.
+		c.Conn.Write(b[:len(b)/2])
+		c.Conn.Close()
+		return len(b) / 2, net.ErrClosed
+	case "corrupt":
+		// Flip one bit of a seed-chosen byte past the length prefix so
+		// the checksum no longer matches.
+		d := make([]byte, len(b))
+		copy(d, b)
+		pos := int(hash64(c.seed, op, saltConnPos) % uint64(len(d)))
+		if len(d) > 12 {
+			pos = 4 + int(hash64(c.seed, op, saltConnPos)%uint64(len(d)-8))
+		}
+		d[pos] ^= 0x40
+		return c.Conn.Write(d)
+	case "dup":
+		n, err := c.Conn.Write(b)
+		if err != nil {
+			return n, err
+		}
+		if _, err := c.Conn.Write(b); err != nil {
+			return n, err
+		}
+		return n, nil
+	case "drip":
+		for off := 0; off < len(b); off += c.prof.DripChunk {
+			end := off + c.prof.DripChunk
+			if end > len(b) {
+				end = len(b)
+			}
+			if n, err := c.Conn.Write(b[off:end]); err != nil {
+				return off + n, err
+			}
+			if c.prof.DripDelay > 0 {
+				time.Sleep(c.prof.DripDelay)
+			}
+		}
+		return len(b), nil
+	default:
+		return c.Conn.Write(b)
+	}
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	for {
+		n, err := c.Conn.Read(b)
+		c.mu.Lock()
+		part := c.partitioned
+		c.mu.Unlock()
+		if !part {
+			return n, err
+		}
+		// Partitioned: data from the peer is swallowed too. Errors
+		// (close, deadline) still surface so the reader can die.
+		if err != nil {
+			return 0, err
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package iofault is the durability counterpart of the DNS layer's
+// fault-injection transport (dns.FaultTransport): a filesystem
+// abstraction whose fault wrapper subjects every syscall-shaped
+// operation — writes, fsyncs, renames, reads — to deterministic,
+// seed-driven failures. Collection survives the real world only if
+// crashes mid-write, full disks, lying fsyncs and bit rot are exercised
+// the way lossy links already are, so the store's WriteTo callers, the
+// sweep journal, checkpoint writes and `rustore fsck -repair` all route
+// their file I/O through an FS, and the chaos matrix
+// (internal/iofault/chaostest) swaps the OS passthrough for a FaultFS.
+//
+// Like the network layer, every injected failure is replayable: fault
+// decisions are pure FNV-1a hashes of (seed, op-index), never draws
+// from a sequential RNG, so a fixed seed reproduces the same short
+// write or flipped bit run after run, and a crash observed once can be
+// replayed at exactly the same byte offset forever.
+package iofault
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the slice of *os.File the durability paths need. *os.File
+// satisfies it directly; FaultFS wraps one with fault injection.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (fs.FileInfo, error)
+	Name() string
+}
+
+// FS abstracts the filesystem operations durability-critical code
+// performs. OS is the passthrough; NewFaultFS wraps any FS with a
+// deterministic fault profile.
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename is os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(name string) error
+	// SyncDir fsyncs the directory at dir, making a rename inside it
+	// durable (the final step of an atomic replace).
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem: every operation delegates to package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Create opens name for writing, truncating it — os.Create through fsys.
+func Create(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// Open opens name read-only — os.Open through fsys.
+func Open(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// WriteAtomic durably replaces path with whatever write produces:
+// write a temp file in the same directory, fsync it, close, rename over
+// path, fsync the directory. A crash at any byte of the sequence leaves
+// either the previous content of path or the new one — never a torn
+// mixture, and never neither. On error the temp file is removed and
+// path is untouched.
+func WriteAtomic(fsys FS, path string, write func(w io.Writer) error) error {
+	if fsys == nil {
+		fsys = OS
+	}
+	tmp := path + ".tmp"
+	f, err := Create(fsys, tmp)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	// The rename must never expose bytes that are not yet on stable
+	// storage: fsync the file before it becomes visible under path.
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	// And the rename itself must survive power loss: fsync the directory.
+	return fsys.SyncDir(filepath.Dir(path))
+}

@@ -521,15 +521,18 @@ func readFullN(r io.Reader, n int) ([]byte, error) {
 	const direct = 1 << 16
 	if n <= direct {
 		b := make([]byte, n)
-		_, err := io.ReadFull(r, b)
-		return b, err
+		m, err := io.ReadFull(r, b)
+		// On a short read, return only the bytes that arrived — callers
+		// account torn tails by len(payload), which must not count the
+		// promised length.
+		return b[:m], err
 	}
 	var buf bytes.Buffer
 	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return buf.Bytes(), err
 	}
 	return buf.Bytes(), nil
 }

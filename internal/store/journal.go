@@ -11,6 +11,7 @@ import (
 	"os"
 	"sort"
 
+	"whereru/internal/iofault"
 	"whereru/internal/simtime"
 )
 
@@ -81,8 +82,11 @@ func (r *JournalReplay) Torn() bool { return r.TornBytes > 0 }
 
 // Journal is an open sweep journal positioned for appending.
 type Journal struct {
-	f    *os.File
+	f    iofault.File
 	path string
+	// off is the end of the last durable segment — the rollback point
+	// when an append fails partway.
+	off int64
 	// Sync flushes an appended segment to stable storage; it defaults to
 	// the file's fsync and exists as a hook for tests that count or fail
 	// durability points.
@@ -98,7 +102,13 @@ func (j *Journal) Close() error { return j.f.Close() }
 // CreateJournal creates (or truncates) a journal at path and writes its
 // header durably.
 func CreateJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	return CreateJournalFS(iofault.OS, path)
+}
+
+// CreateJournalFS is CreateJournal with the file I/O routed through
+// fsys, so fault injection can exercise the header write.
+func CreateJournalFS(fsys iofault.FS, path string) (*Journal, error) {
+	f, err := iofault.Create(fsys, path)
 	if err != nil {
 		return nil, fmt.Errorf("store: journal: %w", err)
 	}
@@ -115,6 +125,7 @@ func CreateJournal(path string) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: journal: syncing header: %w", err)
 	}
+	j.off = 6
 	return j, nil
 }
 
@@ -124,7 +135,12 @@ func CreateJournal(path string) (*Journal, error) {
 // file. The returned replay holds the surviving records (and TornBytes
 // when a tail was dropped — callers should log that).
 func OpenJournal(path string) (*Journal, *JournalReplay, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenJournalFS(iofault.OS, path)
+}
+
+// OpenJournalFS is OpenJournal with the file I/O routed through fsys.
+func OpenJournalFS(fsys iofault.FS, path string) (*Journal, *JournalReplay, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: journal: %w", err)
 	}
@@ -135,7 +151,23 @@ func OpenJournal(path string) (*Journal, *JournalReplay, error) {
 	}
 	j := &Journal{f: f, path: path}
 	j.Sync = f.Sync
-	if st.Size() == 0 {
+	if st.Size() > 0 && st.Size() < 6 {
+		// Shorter than the header: a crash tore the journal's very
+		// creation. Nothing could have been journaled yet, so reset to
+		// empty and write a fresh header below. (A full-size file with a
+		// wrong header stays an error — that is a foreign file, not a
+		// torn one.)
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: journal: resetting torn header: %w", err)
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: journal: %w", err)
+		}
+		st = nil
+	}
+	if st == nil || st.Size() == 0 {
 		// Fresh file: write the header as CreateJournal would.
 		var hdr [6]byte
 		copy(hdr[:4], journalMagic)
@@ -148,6 +180,7 @@ func OpenJournal(path string) (*Journal, *JournalReplay, error) {
 			f.Close()
 			return nil, nil, fmt.Errorf("store: journal: syncing header: %w", err)
 		}
+		j.off = 6
 		return j, &JournalReplay{GoodBytes: 6}, nil
 	}
 	replay, err := DecodeJournal(bufio.NewReader(f))
@@ -160,11 +193,19 @@ func OpenJournal(path string) (*Journal, *JournalReplay, error) {
 			f.Close()
 			return nil, nil, fmt.Errorf("store: journal: truncating torn tail: %w", err)
 		}
+		// The truncation must be durable before new segments land after
+		// it: otherwise a second crash can resurrect the torn bytes
+		// underneath a fresh segment's framing.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: journal: syncing truncated tail: %w", err)
+		}
 	}
 	if _, err := f.Seek(replay.GoodBytes, io.SeekStart); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("store: journal: %w", err)
 	}
+	j.off = replay.GoodBytes
 	return j, replay, nil
 }
 
@@ -172,18 +213,40 @@ func OpenJournal(path string) (*Journal, *JournalReplay, error) {
 // fsyncs, so the sweep is durable before the pipeline moves to the next
 // day. Measurements are normalized and sorted by domain first, making
 // the journal's bytes deterministic regardless of worker interleaving.
+//
+// A failed append — a short write, a full disk, a failed fsync — rolls
+// the file back to the end of the last durable segment before
+// returning, so the journal stays clean and the same Journal (or a
+// reopened one) can retry or resume once the condition clears. The
+// returned error wraps the cause (e.g. syscall.ENOSPC), letting callers
+// distinguish a full disk from torn hardware.
 func (j *Journal) AppendSweep(rec JournalSweep) error {
 	frame, err := encodeJournalSegment(rec)
 	if err != nil {
 		return err
 	}
 	if _, err := j.f.Write(frame); err != nil {
+		j.rollback()
 		return fmt.Errorf("store: journal: appending %s: %w", rec.Day, err)
 	}
 	if err := j.Sync(); err != nil {
+		j.rollback()
 		return fmt.Errorf("store: journal: syncing %s: %w", rec.Day, err)
 	}
+	j.off += int64(len(frame))
 	return nil
+}
+
+// rollback drops a partially appended segment, restoring the file to
+// the end of the last durable one. Best-effort: if the disk is failing
+// hard enough that even the truncate cannot land, the checksummed
+// framing still fences the torn bytes off at the next open.
+func (j *Journal) rollback() {
+	if err := j.f.Truncate(j.off); err != nil {
+		return
+	}
+	j.f.Seek(j.off, io.SeekStart)
+	j.f.Sync()
 }
 
 func encodeJournalSegment(rec JournalSweep) ([]byte, error) {
@@ -352,7 +415,13 @@ func VerifyJournal(path string) (*JournalReplay, error) {
 // RepairJournal truncates the journal at path to its valid prefix,
 // dropping a torn tail. It reports the replay after repair.
 func RepairJournal(path string) (*JournalReplay, error) {
-	j, replay, err := OpenJournal(path)
+	return RepairJournalFS(iofault.OS, path)
+}
+
+// RepairJournalFS is RepairJournal with the file I/O routed through
+// fsys, so the chaos matrix can crash the repair itself.
+func RepairJournalFS(fsys iofault.FS, path string) (*JournalReplay, error) {
+	j, replay, err := OpenJournalFS(fsys, path)
 	if err != nil {
 		return nil, err
 	}
