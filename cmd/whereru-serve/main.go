@@ -23,6 +23,10 @@
 //	-scale N         population scale divisor (default 200)
 //	-seed N          world seed (default 20220224)
 //	-step N          dense sweep interval when collecting (default 3)
+//	-scenario NAME   activate a built-in routing scenario; the study must
+//	                 have been collected (or is collected here) under the
+//	                 same scenario, and the reachability/latency figures
+//	                 and /api/v1/outages light up
 //	-max-concurrent N  concurrent analysis computations (default GOMAXPROCS)
 //	-request-timeout D per-request deadline (default 30s)
 //	-cache-entries N   result-cache capacity (default 512)
@@ -62,6 +66,7 @@ func run() error {
 	scale := flag.Int("scale", 200, "population scale divisor (must match the run that produced -store/-checkpoint)")
 	seed := flag.Int64("seed", 20220224, "world seed (must match the run that produced -store/-checkpoint)")
 	step := flag.Int("step", 3, "dense sweep interval in days when collecting")
+	scenario := flag.String("scenario", "", "routing scenario (must match the run that produced -store/-checkpoint)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent analysis computations (0 = GOMAXPROCS)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
 	cacheEntries := flag.Int("cache-entries", 0, "result-cache capacity (0 = default)")
@@ -75,6 +80,7 @@ func run() error {
 	opts := core.Options{
 		World:     world.Config{Seed: *seed, Scale: *scale, RFShare: 0.10},
 		DenseStep: *step,
+		Scenario:  *scenario,
 		CollectMX: true,
 	}
 	if !*quiet {

@@ -13,6 +13,12 @@
 //	-step N         dense sweep interval in days for 2022 (default 3)
 //	-workers N      sweep concurrency (default 8)
 //	-analysis-workers N  analysis shard count (default 0 = one per CPU)
+//	-scenario NAME  activate a built-in routing scenario (netnod-depeering,
+//	                ru-ixp-isolation, runet-partition): sweeps run through
+//	                the AS-level route tables and the report gains the
+//	                reachability and latency sections. For example:
+//	                  whereru -scale 2000 -scenario netnod-depeering
+//	                  whereru -scale 2000 -scenario runet-partition -step 7
 //	-markdown FILE  also write the EXPERIMENTS.md content to FILE
 //	-store FILE     also write the binary measurement store to FILE
 //	-checkpoint F   journal each completed sweep to F (crash-safe collection)
@@ -85,6 +91,7 @@ func run() error {
 	step := flag.Int("step", 3, "dense sweep interval in days for 2022")
 	workers := flag.Int("workers", 8, "sweep concurrency")
 	analysisWorkers := flag.Int("analysis-workers", 0, "analysis shard count for figure regeneration (0 = one per CPU)")
+	scenario := flag.String("scenario", "", "routing scenario ("+strings.Join(world.Scenarios(), ", ")+"); empty disables the route layer")
 	markdown := flag.String("markdown", "", "write EXPERIMENTS.md content to this file")
 	storePath := flag.String("store", "", "write the binary measurement store to this file")
 	csvDir := flag.String("csvdir", "", "write per-figure CSV series into this directory")
@@ -127,6 +134,7 @@ func run() error {
 		DenseStep:       *step,
 		Workers:         *workers,
 		AnalysisWorkers: *analysisWorkers,
+		Scenario:        *scenario,
 		CollectMX:       *mx,
 		CheckpointPath:  *checkpoint,
 		Resume:          *resume,

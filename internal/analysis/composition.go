@@ -70,6 +70,12 @@ type Analyzer struct {
 	Store    *store.Store
 	Geo      *geo.DB
 	Internet *netsim.Internet
+	// Routes is the AS-level routing oracle of a scenario run (nil when
+	// no scenario is active: everything is reachable at zero latency).
+	// The reachability and route-latency series consult it per (route
+	// version, address), mirroring how the composition series consult
+	// Geo.
+	Routes RouteOracle
 	// Workers is the analysis shard count (0 = runtime.NumCPU). Series are
 	// computed by sharding the domain space over this many goroutines with
 	// a deterministic merge, so the result is independent of the setting.

@@ -121,6 +121,20 @@ func (s *Study) Fig5() []analysis.Point {
 	return s.Analyzer.NSCompositionSeries(days, s.sanctionedFilter())
 }
 
+// Reachability computes the scenario reachability series (per-day
+// name-server reachability under the AS-level route tables) over the
+// standard day axis. Without an active scenario every measured domain is
+// reachable.
+func (s *Study) Reachability() []analysis.ReachPoint {
+	return s.Analyzer.ReachabilitySeries(s.keyDays(), nil)
+}
+
+// RouteLatency computes the simulated resolution-latency series under
+// the AS-level route tables over the standard day axis.
+func (s *Study) RouteLatency() []analysis.RouteLatencyPoint {
+	return s.Analyzer.RouteLatencySeries(s.keyDays(), nil)
+}
+
 // Movement runs the §3.4 movement analysis for one provider ASN.
 func (s *Study) Movement(asn netsim.ASN, from simtime.Day) analysis.Movement {
 	return s.Analyzer.MovementAnalysis(asn, from, simtime.StudyEnd, s.World.Registries)
@@ -452,6 +466,16 @@ func (s *Study) RenderAll(w io.Writer) error {
 	}
 	fmt.Fprintln(w)
 
+	// Scenario figures: reachability and simulated resolution latency
+	// under the AS-level route tables. Rendered only when a routing
+	// scenario is active, so scenario-less reports keep their exact
+	// historical bytes.
+	if s.Analyzer.Routes != nil {
+		if err := s.renderScenario(w); err != nil {
+			return err
+		}
+	}
+
 	// Figures 6-7 + §3.4 movement tables.
 	moveTable := &report.Table{
 		Title:   "Figures 6-7 / §3.4: domain movement by provider (baseline day → 2022-05-25)",
@@ -658,6 +682,82 @@ func (s *Study) RenderAll(w io.Writer) error {
 	}
 	_, err = idx.WriteTo(w)
 	return err
+}
+
+// renderScenario writes the routing-scenario figures: the reachability
+// chart, the per-country reachability table at the final day, and the
+// simulated resolution-latency chart.
+func (s *Study) renderScenario(w io.Writer) error {
+	reach := s.Reachability()
+	reachSer := report.Series{Name: "reachable", Mark: 'R', Points: map[simtime.Day]float64{}}
+	days := make([]simtime.Day, 0, len(reach))
+	var gaps []simtime.Day
+	for _, p := range reach {
+		days = append(days, p.Day)
+		if p.Interpolated {
+			gaps = append(gaps, p.Day)
+		}
+		v := 100.0
+		if p.Total > 0 {
+			v = 100 * float64(p.Reachable) / float64(p.Total)
+		}
+		reachSer.Points[p.Day] = v
+	}
+	chart := &report.Chart{
+		Title:  fmt.Sprintf("Scenario %q: NS reachability from the measurement vantage", s.Opts.Scenario),
+		YLabel: "% of domains", YMax: 100,
+		Days: days, Series: []report.Series{reachSer}, Gaps: gaps,
+	}
+	if _, err := chart.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	if len(reach) > 0 {
+		last := reach[len(reach)-1]
+		rt := &report.Table{
+			Title:   fmt.Sprintf("Scenario reachability by NS country on %s", last.Day),
+			Headers: []string{"country", "domains", "reachable", "rate"},
+		}
+		for _, c := range last.Countries {
+			rate := 0.0
+			if c.Total > 0 {
+				rate = 100 * float64(c.Reachable) / float64(c.Total)
+			}
+			rt.AddRow(c.Country, fmt.Sprint(c.Total), fmt.Sprint(c.Reachable), report.Pct(rate))
+		}
+		if _, err := rt.WriteTo(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	lat := s.RouteLatency()
+	p50 := report.Series{Name: "p50", Mark: '5', Points: map[simtime.Day]float64{}}
+	p99 := report.Series{Name: "p99", Mark: '9', Points: map[simtime.Day]float64{}}
+	ymax := 0.0
+	for _, p := range lat {
+		v50 := float64(p.P50.Microseconds()) / 1000
+		v99 := float64(p.P99.Microseconds()) / 1000
+		p50.Points[p.Day] = v50
+		p99.Points[p.Day] = v99
+		if v99 > ymax {
+			ymax = v99
+		}
+	}
+	if ymax < 1 {
+		ymax = 1
+	}
+	latChart := &report.Chart{
+		Title:  fmt.Sprintf("Scenario %q: simulated resolution latency (best NS path)", s.Opts.Scenario),
+		YLabel: "ms", YMax: ymax,
+		Days: days, Series: []report.Series{p50, p99}, Gaps: gaps,
+	}
+	if _, err := latChart.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
 }
 
 // ExperimentsMarkdown writes the EXPERIMENTS.md content: the per-

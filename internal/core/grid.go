@@ -27,7 +27,7 @@ func GridFingerprint(opts Options) uint64 {
 		binary.BigEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])
 	}
-	put(1) // fingerprint schema version
+	put(2) // fingerprint schema version
 	put(uint64(opts.World.Seed))
 	put(uint64(opts.World.Scale))
 	put(math.Float64bits(opts.World.RFShare))
@@ -44,6 +44,10 @@ func GridFingerprint(opts Options) uint64 {
 	} else {
 		put(0)
 	}
+	// Scenario selects route events that reshape every measurement; a
+	// worker running a different scenario lives on a different Internet.
+	put(uint64(len(opts.Scenario)))
+	h.Write([]byte(opts.Scenario))
 	return h.Sum64()
 }
 
@@ -124,6 +128,13 @@ func RunGridWorker(ctx context.Context, opts Options, addr, name string) error {
 	if err != nil {
 		return fmt.Errorf("core: grid worker %s: building world: %w", name, err)
 	}
+	if opts.Scenario != "" {
+		// The worker's private topology must carry the same route events
+		// as the coordinator's, or unit results would diverge.
+		if err := w.ApplyScenario(opts.Scenario, nil); err != nil {
+			return fmt.Errorf("core: grid worker %s: %w", name, err)
+		}
+	}
 	pipe := &openintel.Pipeline{
 		Resolver:  measurementResolver(opts, w, netsim.NewOutageSchedule()),
 		Seeds:     w.Registries,
@@ -131,6 +142,9 @@ func RunGridWorker(ctx context.Context, opts Options, addr, name string) error {
 		Store:     store.New(), // scratch: MeasureUnit never touches it
 		Workers:   opts.Workers,
 		CollectMX: opts.CollectMX,
+	}
+	if opts.Scenario != "" {
+		pipe.Routes = w.RouteView()
 	}
 	worker := &grid.Worker{
 		Pipeline:    pipe,

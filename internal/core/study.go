@@ -55,6 +55,15 @@ type Options struct {
 	// (footnote 8) as a fault-profile outage window on the registry TLD
 	// servers — the declarative re-expression of World.SetOutage.
 	SimulateOutage bool
+	// Scenario selects a built-in routing scenario (world.Scenarios lists
+	// the catalog: "netnod-depeering", "ru-ixp-isolation",
+	// "runet-partition"). When set, every sweep exchange consults the
+	// AS-level route table: servers with no path fail like timeouts,
+	// routed exchanges accumulate simulated path latency, and the
+	// reachability/latency analyses light up. Empty disables the route
+	// layer entirely — measurements are byte-identical to earlier
+	// versions.
+	Scenario string
 	// CheckpointPath, when set, makes collection crash-safe: every
 	// completed sweep is appended to an fsynced journal at this path, so
 	// a killed run can pick up where it left off.
@@ -176,13 +185,21 @@ func New(opts Options) (*Study, error) {
 		return nil, fmt.Errorf("core: building world: %w", err)
 	}
 	st := store.New()
+	outages := netsim.NewOutageSchedule()
+	an := &analysis.Analyzer{Store: st, Geo: w.Geo, Internet: w.Internet, Workers: opts.AnalysisWorkers}
+	if opts.Scenario != "" {
+		if err := w.ApplyScenario(opts.Scenario, outages); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		an.Routes = w.RouteView()
+	}
 	return &Study{
 		Opts:     opts,
 		World:    w,
 		Store:    st,
-		Analyzer: &analysis.Analyzer{Store: st, Geo: w.Geo, Internet: w.Internet, Workers: opts.AnalysisWorkers},
+		Analyzer: an,
 		Archive:  scan.NewArchive(),
-		Outages:  netsim.NewOutageSchedule(),
+		Outages:  outages,
 	}, nil
 }
 
@@ -245,18 +262,28 @@ func (s *Study) adoptStore(st *store.Store) {
 // uses it for each worker's private copy of the world — identical
 // configuration is what makes grid unit results deterministic.
 func measurementResolver(opts Options, w *world.World, outages *netsim.OutageSchedule) *dns.Resolver {
-	resolver := w.NewResolver()
+	// With a scenario active every exchange passes through the route
+	// layer before touching the wire; without one the stack is built
+	// directly over the in-memory wire, byte-identical to scenario-less
+	// versions of this code.
+	var base dns.Transport = w.Mem
+	if opts.Scenario != "" {
+		base = w.RoutedTransport()
+	}
+	resolver := dns.NewResolver(base, w.Roots())
 	if opts.Loss > 0 || opts.SimulateOutage {
 		seed := opts.FaultSeed
 		if seed == 0 {
 			seed = opts.World.Seed
 		}
 		profile := dns.FaultProfile{Loss: opts.Loss}
-		r, ft := w.NewFaultyResolver(seed, profile)
+		ft := dns.NewFaultTransport(base, seed, w.Clock())
+		ft.SetDefault(profile)
+		resolver = dns.NewResolver(ft, w.Roots())
+		resolver.Client = dns.NewSeededClient(ft, seed)
 		if opts.SimulateOutage {
 			w.ScheduleRegistryOutage(ft, profile, simtime.OneDay(simtime.MeasurementOutage), outages)
 		}
-		resolver = r
 	}
 	if opts.ReferenceResolver {
 		w.Mem.SetReferenceCodec(true)
@@ -286,6 +313,9 @@ func (s *Study) Collect(ctx context.Context) error {
 		Store:     s.Store,
 		Workers:   s.Opts.Workers,
 		CollectMX: s.Opts.CollectMX,
+	}
+	if s.Opts.Scenario != "" {
+		pipe.Routes = s.World.RouteView()
 	}
 
 	done := map[simtime.Day]bool{}

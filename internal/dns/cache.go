@@ -149,12 +149,25 @@ func (c *InfraCache) storeHost(host string, addrs []netip.Addr) {
 // lookupHost consults the positive and negative host caches. The second
 // return distinguishes a positive hit (true, even with an empty address
 // set) from a miss; neg reports a negative-cache hit.
+//
+// Order matters for determinism: a negative entry wins over a positive
+// one, and a host with a chase in flight reports a miss so the caller
+// joins the flight instead of trusting glue the chase stored on its way
+// down. Referral walks cache glue (storeHost) before the authoritative
+// query runs; if that query then fails, honoring the glue would make a
+// host's resolvability depend on whether some earlier resolution had
+// walked past it — scheduling, not DNS data.
 func (c *InfraCache) lookupHost(host string) (addrs []netip.Addr, ok, neg bool) {
 	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.hostNeg[host] {
+		return nil, false, true
+	}
+	if c.flights[host] != nil {
+		return nil, false, false
+	}
 	addrs, ok = c.hosts[host]
-	neg = c.hostNeg[host]
-	c.mu.RUnlock()
-	return addrs, ok, neg
+	return addrs, ok, false
 }
 
 // joinOrLead decides a miss's fate under coalescing: either joins an
@@ -165,17 +178,21 @@ func (c *InfraCache) lookupHost(host string) (addrs []netip.Addr, ok, neg bool) 
 func (c *InfraCache) joinOrLead(host string) (fl *hostFlight, lead bool, gen uint64, addrs []netip.Addr, ok, neg bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if addrs, ok = c.hosts[host]; ok {
-		return nil, false, 0, addrs, true, false
-	}
+	// Same precedence as lookupHost: negative beats positive, and an
+	// in-flight chase beats glue it may itself have stored.
 	if c.hostNeg[host] {
 		return nil, false, 0, nil, false, true
 	}
+	if c.coalesce {
+		if fl = c.flights[host]; fl != nil {
+			return fl, false, 0, nil, false, false
+		}
+	}
+	if addrs, ok = c.hosts[host]; ok {
+		return nil, false, 0, addrs, true, false
+	}
 	if !c.coalesce {
 		return nil, true, c.gen, nil, false, false
-	}
-	if fl = c.flights[host]; fl != nil {
-		return fl, false, 0, nil, false, false
 	}
 	fl = &hostFlight{done: make(chan struct{})}
 	c.flights[host] = fl
@@ -196,7 +213,11 @@ func (c *InfraCache) completeHost(host string, fl *hostFlight, gen uint64, addrs
 			c.hosts[host] = addrs
 		} else if !ctxDead {
 			// A dead name-server host costs one resolution per sweep, not
-			// one per delegated domain.
+			// one per delegated domain. The chase may have glued this very
+			// host into the positive cache while walking down to its zone;
+			// the authoritative failure invalidates that, or the host's
+			// resolvability would depend on resolution order.
+			delete(c.hosts, host)
 			c.hostNeg[host] = true
 		}
 	}

@@ -44,6 +44,14 @@ type FaultProfile struct {
 	Truncate float64
 	// Latency is added to every exchange before it is attempted.
 	Latency time.Duration
+	// LatencyJitter spreads Latency per exchange: the effective delay is
+	// Latency × (1 − J/2 + J·u), where u ∈ [0,1) is a pure hash of
+	// (seed, day, server, query) — the same scheme as the fault rolls, so
+	// the spread is replayable and mean-preserving. A fixed Latency alone
+	// produces a one-spike distribution; jitter makes latency series
+	// non-degenerate without sacrificing determinism. Values in [0,1] are
+	// sensible (0.3 → ±15%); 0 disables jitter.
+	LatencyJitter float64
 	// Outages are scheduled windows during which the target drops every
 	// query — e.g. Netnod's service withdrawal expressed as data rather
 	// than an ad-hoc SetUnreachable call.
@@ -194,6 +202,7 @@ const (
 	saltLoss     = 0x9E3779B97F4A7C15
 	saltServFail = 0xC2B2AE3D27D4EB4F
 	saltTrunc    = 0x165667B19E3779F9
+	saltLatency  = 0x27D4EB2F165667C5
 )
 
 // roll derives a uniform float64 in [0,1) from the exchange identity and
@@ -241,7 +250,15 @@ func (t *FaultTransport) Exchange(ctx context.Context, server netip.Addr, query 
 		day = t.clock.Now()
 	}
 	if p.Latency > 0 {
-		timer := time.NewTimer(p.Latency)
+		delay := p.Latency
+		if p.LatencyJitter > 0 {
+			// Mean-preserving spread around Latency, hashed from the
+			// exchange identity so retransmissions (fresh query IDs)
+			// re-roll their delay but replays reproduce it exactly.
+			factor := 1 - p.LatencyJitter/2 + p.LatencyJitter*t.roll(saltLatency, day, server, query)
+			delay = time.Duration(float64(delay) * factor)
+		}
+		timer := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
 			timer.Stop()

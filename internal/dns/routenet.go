@@ -1,0 +1,94 @@
+package dns
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"whereru/internal/simtime"
+)
+
+// This file is the routing-aware transport layer: a Transport wrapper
+// that consults an AS-level route table before every exchange. Where the
+// fault layer (faultnet.go) models a server misbehaving, this layer
+// models the path to the server not existing at all — depeering, IXP
+// withdrawal, partition. No path means the query never arrives, surfaced
+// exactly like a fault-layer loss (an error wrapping ErrNoRoute) so the
+// resolver's retry/failover machinery and the pipeline's unreachability
+// accounting need no changes. When a path exists, its simulated
+// round-trip latency is accumulated — never slept — so scenario sweeps
+// stay as fast as plain ones while latency series gain a routing signal.
+
+// RoutePolicy decides, per simulation day, whether a server is reachable
+// from the measurement vantage and at what simulated path round-trip
+// latency. netsim.RouteView implements it over the Topology's route
+// tables.
+type RoutePolicy interface {
+	Route(day simtime.Day, server netip.Addr) (time.Duration, bool)
+}
+
+// ErrNoPath marks exchanges refused because no AS path exists to the
+// server on the current day. It wraps ErrNoRoute so callers that already
+// treat unreachability as a timeout need no changes.
+var ErrNoPath = fmt.Errorf("%w (no AS path)", ErrNoRoute)
+
+// RouteStats counts what the route layer did.
+type RouteStats struct {
+	// Exchanges is the number of exchanges that consulted the route table.
+	Exchanges int64
+	// Unrouted counts exchanges refused for lack of an AS path.
+	Unrouted int64
+	// SimLatency is the total simulated path latency accumulated over
+	// routed exchanges (virtual time — never slept).
+	SimLatency time.Duration
+}
+
+// RouteTransport wraps a Transport with a RoutePolicy: exchanges to
+// servers with no AS path fail with ErrNoPath, and routed exchanges
+// accumulate their simulated path latency. Like every layer in this
+// package it is deterministic: the decision is a pure function of
+// (policy, day, server), independent of worker count and scheduling.
+type RouteTransport struct {
+	inner  Transport
+	clock  DayClock
+	policy RoutePolicy
+
+	exchanges, unrouted, simNanos atomic.Int64
+}
+
+// NewRouteTransport wraps inner with a route policy. clock may be nil,
+// pinning route decisions to day 0.
+func NewRouteTransport(inner Transport, clock DayClock, policy RoutePolicy) *RouteTransport {
+	return &RouteTransport{inner: inner, clock: clock, policy: policy}
+}
+
+// Stats returns the running route counters.
+func (t *RouteTransport) Stats() RouteStats {
+	return RouteStats{
+		Exchanges:  t.exchanges.Load(),
+		Unrouted:   t.unrouted.Load(),
+		SimLatency: time.Duration(t.simNanos.Load()),
+	}
+}
+
+// Exchange implements Transport: it refuses the exchange when no AS path
+// reaches server on the current day, otherwise accumulates the path
+// latency and delegates.
+func (t *RouteTransport) Exchange(ctx context.Context, server netip.Addr, query *Message) (*Message, error) {
+	t.exchanges.Add(1)
+	var day simtime.Day
+	if t.clock != nil {
+		day = t.clock.Now()
+	}
+	lat, ok := t.policy.Route(day, server)
+	if !ok {
+		t.unrouted.Add(1)
+		return nil, fmt.Errorf("%w: %v on %s", ErrNoPath, server, day)
+	}
+	if lat > 0 {
+		t.simNanos.Add(int64(lat))
+	}
+	return t.inner.Exchange(ctx, server, query)
+}

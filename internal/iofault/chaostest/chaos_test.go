@@ -256,7 +256,7 @@ func chaosSweeps(n int) []store.JournalSweep {
 			rec.Measurements = append(rec.Measurements, store.Measurement{
 				Domain: fmt.Sprintf("dom%02d.ru.", j),
 				Day:    rec.Day,
-				Config: store.Config{NSHosts: []string{fmt.Sprintf("ns%d.ru.", (i + j) % 3)}},
+				Config: store.Config{NSHosts: []string{fmt.Sprintf("ns%d.ru.", (i+j)%3)}},
 			})
 		}
 		out = append(out, rec)

@@ -53,6 +53,14 @@ type Pipeline struct {
 	// so a killed run resumes from the first unswept day via
 	// ReplayJournal instead of starting over.
 	Checkpoint *store.Journal
+	// Routes, when set, is the AS-level routing oracle of a scenario run:
+	// each measured domain's simulated path latency (summed over its
+	// routed server addresses) is folded into the per-domain latency
+	// histogram. The histogram is runtime-only — journal and store bytes
+	// never see it — so Routes changes reported latency quantiles without
+	// touching the determinism contract. The resolver's transport is
+	// expected to consult the same oracle for reachability.
+	Routes dns.RoutePolicy
 }
 
 // SweepStats summarizes one sweep. Beyond the domain-outcome counts it
@@ -171,6 +179,10 @@ type measured struct {
 	nx          bool
 	unreachable bool
 	took        time.Duration
+	// simLat is the simulated path latency of the domain's routed
+	// exchanges (zero without Routes) — virtual time, added to took in
+	// the latency histogram but never slept.
+	simLat time.Duration
 }
 
 // measurePool resolves every domain concurrently with the pipeline's
@@ -204,7 +216,7 @@ func (p *Pipeline) measurePool(ctx context.Context, day simtime.Day, domains []s
 				start := time.Now()
 				m, nx, unreachable := p.measure(ctx, day, domain, &scratch)
 				select {
-				case results <- measured{m: m, nx: nx, unreachable: unreachable, took: time.Since(start)}:
+				case results <- measured{m: m, nx: nx, unreachable: unreachable, took: time.Since(start), simLat: p.simLatency(day, &m)}:
 				case <-ctx.Done():
 					return
 				}
@@ -268,7 +280,7 @@ func (p *Pipeline) Sweep(ctx context.Context, day simtime.Day) (SweepStats, erro
 		if r.unreachable {
 			stats.Unreachable++
 		}
-		hist.Observe(r.took)
+		hist.Observe(r.took + r.simLat)
 		p.Store.Add(r.m)
 		if p.Checkpoint != nil {
 			collected = append(collected, r.m)
@@ -343,7 +355,7 @@ func (p *Pipeline) MeasureUnit(ctx context.Context, day simtime.Day, domains []s
 		if r.unreachable {
 			res.Unreachable++
 		}
-		res.Latency.Observe(r.took)
+		res.Latency.Observe(r.took + r.simLat)
 		res.Measurements = append(res.Measurements, r.m)
 	})
 	clientAfter := p.Resolver.Client.Stats()
@@ -509,6 +521,28 @@ func (p *Pipeline) measure(ctx context.Context, day simtime.Day, domain string, 
 		}
 	}
 	return m, nx, unreachable
+}
+
+// simLatency sums the simulated path round-trip latency over a
+// measurement's routed server addresses (name servers and apex hosts).
+// Unreachable addresses contribute nothing — their cost already shows up
+// as missing records.
+func (p *Pipeline) simLatency(day simtime.Day, m *store.Measurement) time.Duration {
+	if p.Routes == nil {
+		return 0
+	}
+	var total time.Duration
+	for _, a := range m.Config.NSAddrs {
+		if lat, ok := p.Routes.Route(day, a); ok {
+			total += lat
+		}
+	}
+	for _, a := range m.Config.ApexAddrs {
+		if lat, ok := p.Routes.Route(day, a); ok {
+			total += lat
+		}
+	}
+	return total
 }
 
 // hostSeenBefore reports whether h already occurred among the earlier

@@ -288,6 +288,160 @@ func renderTimelineEpoch(cfg store.Config, from, to simtime.Day, covered int) ti
 	return ep
 }
 
+// countryReach is one country's slice of a reachability point: domains
+// whose name-server set touches the country, and how many of them still
+// have a routed address there.
+type countryReach struct {
+	Country      string  `json:"country"`
+	Total        int     `json:"total"`
+	Reachable    int     `json:"reachable"`
+	ReachablePct float64 `json:"reachable_pct"`
+}
+
+// asnReach is the per-ASN analog of countryReach.
+type asnReach struct {
+	ASN       netsim.ASN `json:"asn"`
+	Total     int        `json:"total"`
+	Reachable int        `json:"reachable"`
+}
+
+// reachPoint is one day of the scenario reachability series.
+type reachPoint struct {
+	Day          simtime.Day    `json:"day"`
+	Total        int            `json:"total"`
+	Reachable    int            `json:"reachable"`
+	Unreachable  int            `json:"unreachable"`
+	ReachablePct float64        `json:"reachable_pct"`
+	Countries    []countryReach `json:"countries,omitempty"`
+	ASNs         []asnReach     `json:"asns,omitempty"`
+	Interpolated bool           `json:"interpolated,omitempty"`
+}
+
+type reachabilityDoc struct {
+	Endpoint    string        `json:"endpoint"`
+	Title       string        `json:"title"`
+	Scenario    string        `json:"scenario,omitempty"`
+	Generation  uint64        `json:"generation"`
+	MissingDays []simtime.Day `json:"missing_days,omitempty"`
+	Series      []reachPoint  `json:"series"`
+}
+
+func reachPct(reachable, total int) float64 {
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(reachable) / float64(total)
+}
+
+func renderReachability(series []analysis.ReachPoint) []reachPoint {
+	out := make([]reachPoint, 0, len(series))
+	for _, p := range series {
+		rp := reachPoint{
+			Day: p.Day, Total: p.Total, Reachable: p.Reachable,
+			Unreachable:  p.Unreachable,
+			ReachablePct: reachPct(p.Reachable, p.Total),
+			Interpolated: p.Interpolated,
+		}
+		for _, c := range p.Countries {
+			rp.Countries = append(rp.Countries, countryReach{
+				Country: c.Country, Total: c.Total, Reachable: c.Reachable,
+				ReachablePct: reachPct(c.Reachable, c.Total),
+			})
+		}
+		for _, a := range p.ASNs {
+			rp.ASNs = append(rp.ASNs, asnReach{ASN: a.ASN, Total: a.Total, Reachable: a.Reachable})
+		}
+		out = append(out, rp)
+	}
+	return out
+}
+
+// countryLatency is one country's latency quantiles (microseconds, the
+// unit the sweeps endpoint already reports runtime latency in).
+type countryLatency struct {
+	Country string `json:"country"`
+	Domains int    `json:"domains"`
+	P50US   int64  `json:"p50_us"`
+	P90US   int64  `json:"p90_us"`
+	P99US   int64  `json:"p99_us"`
+}
+
+// routeLatencyPoint is one day of the simulated resolution-latency
+// series (best routed name-server path per domain).
+type routeLatencyPoint struct {
+	Day          simtime.Day      `json:"day"`
+	Domains      int              `json:"domains"`
+	P50US        int64            `json:"p50_us"`
+	P90US        int64            `json:"p90_us"`
+	P99US        int64            `json:"p99_us"`
+	Countries    []countryLatency `json:"countries,omitempty"`
+	Interpolated bool             `json:"interpolated,omitempty"`
+}
+
+type routeLatencyDoc struct {
+	Endpoint    string              `json:"endpoint"`
+	Title       string              `json:"title"`
+	Scenario    string              `json:"scenario,omitempty"`
+	Generation  uint64              `json:"generation"`
+	MissingDays []simtime.Day       `json:"missing_days,omitempty"`
+	Series      []routeLatencyPoint `json:"series"`
+}
+
+func renderRouteLatency(series []analysis.RouteLatencyPoint) []routeLatencyPoint {
+	out := make([]routeLatencyPoint, 0, len(series))
+	for _, p := range series {
+		lp := routeLatencyPoint{
+			Day: p.Day, Domains: p.Domains,
+			P50US: p.P50.Microseconds(), P90US: p.P90.Microseconds(), P99US: p.P99.Microseconds(),
+			Interpolated: p.Interpolated,
+		}
+		for _, c := range p.Countries {
+			lp.Countries = append(lp.Countries, countryLatency{
+				Country: c.Country, Domains: c.Domains,
+				P50US: c.P50.Microseconds(), P90US: c.P90.Microseconds(), P99US: c.P99.Microseconds(),
+			})
+		}
+		out = append(out, lp)
+	}
+	return out
+}
+
+// outageEvent is one scheduled outage or route-event window.
+type outageEvent struct {
+	Key  string      `json:"key"`
+	Kind string      `json:"kind"`
+	From simtime.Day `json:"from"`
+	To   simtime.Day `json:"to"`
+	Days int         `json:"days"`
+}
+
+// outagesDoc is the /api/v1/outages response: every scheduled window in
+// effect during collection — registry outages and, under a scenario, the
+// route events — keyed and sorted exactly as OutageSchedule.Events
+// returns them.
+type outagesDoc struct {
+	Endpoint   string        `json:"endpoint"`
+	Generation uint64        `json:"generation"`
+	Scenario   string        `json:"scenario,omitempty"`
+	Events     []outageEvent `json:"events"`
+}
+
+func renderOutages(events []netsim.ScheduledEvent, scenario string, gen uint64) outagesDoc {
+	doc := outagesDoc{
+		Endpoint:   "outages",
+		Generation: gen,
+		Scenario:   scenario,
+		Events:     make([]outageEvent, 0, len(events)),
+	}
+	for _, ev := range events {
+		doc.Events = append(doc.Events, outageEvent{
+			Key: ev.Key, Kind: ev.Kind,
+			From: ev.Window.From, To: ev.Window.To, Days: ev.Window.Len(),
+		})
+	}
+	return doc
+}
+
 // studyDoc is the /api/v1/study metadata document.
 type studyDoc struct {
 	Scale         int           `json:"scale"`

@@ -35,6 +35,9 @@ func testStudy(tb testing.TB) *core.Study {
 			World:     world.Config{Seed: 5, Scale: 20000, RFShare: 0.1},
 			DenseStep: 7,
 			CollectMX: true,
+			// A routing scenario so the reachability/latency figures and the
+			// outages endpoint have real content to serve.
+			Scenario: world.ScenarioNetnodDepeering,
 		}
 		var s *core.Study
 		s, studyErr = core.New(opts)
@@ -140,6 +143,19 @@ func TestEndpointsGolden(t *testing.T) {
 			WindowFrom: world.RussianCAStartDay, WindowTo: simtime.CTWindowEnd,
 			Timelines: renderTimelines(st.Fig8()),
 		}},
+		{"/api/v1/figures/reachability", reachabilityDoc{
+			Endpoint: "reachability", Title: "Name-server reachability under routing scenario",
+			Scenario: st.Opts.Scenario, Generation: gen,
+			MissingDays: st.Store.MissingSweeps(),
+			Series:      renderReachability(st.Reachability()),
+		}},
+		{"/api/v1/figures/latency", routeLatencyDoc{
+			Endpoint: "latency", Title: "Simulated resolution latency (best NS path)",
+			Scenario: st.Opts.Scenario, Generation: gen,
+			MissingDays: st.Store.MissingSweeps(),
+			Series:      renderRouteLatency(st.RouteLatency()),
+		}},
+		{"/api/v1/outages", renderOutages(st.Outages.Events(), st.Opts.Scenario, gen)},
 		{"/api/v1/tables/1", table1Doc{
 			Table: 1, Title: "Certificate issuance by period",
 			Generation: gen, Scale: st.Scale(),
@@ -234,6 +250,123 @@ func TestTimelineEndpoint(t *testing.T) {
 	resp, _ = get(t, ts.URL+"/api/v1/domains/"+name+"/timeline")
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("known domain after 404: status = %d", resp.StatusCode)
+	}
+}
+
+// TestScenarioContent pins the routing-scenario semantics end to end
+// through the API: under netnod-depeering the Swedish name-server slice
+// (Netnod's secondary service) is fully reachable before the cutoff and
+// gone from the measured footprint after it — the pipeline can no
+// longer resolve NS hosts behind the withdrawn AS (the chase fails with
+// ErrNoPath), so their addresses drop out of measured configs entirely
+// instead of lingering as unreachable entries — and the outages
+// endpoint lists the scenario's route events alongside any registry
+// outages.
+func TestScenarioContent(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	resp, body := get(t, ts.URL+"/api/v1/figures/reachability")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reachability: status %d, body: %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Scenario string `json:"scenario"`
+		Series   []struct {
+			Day       string `json:"day"`
+			Total     int    `json:"total"`
+			Reachable int    `json:"reachable"`
+			Countries []struct {
+				Country   string `json:"country"`
+				Total     int    `json:"total"`
+				Reachable int    `json:"reachable"`
+			} `json:"countries"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if doc.Scenario != world.ScenarioNetnodDepeering {
+		t.Errorf("scenario = %q, want %q", doc.Scenario, world.ScenarioNetnodDepeering)
+	}
+	if len(doc.Series) == 0 {
+		t.Fatal("empty reachability series")
+	}
+	se := func(i int) (total, reach int) {
+		for _, c := range doc.Series[i].Countries {
+			if c.Country == "SE" {
+				return c.Total, c.Reachable
+			}
+		}
+		return 0, 0
+	}
+	cutoff := world.NetnodCutoffDay.String()
+	first, last := 0, len(doc.Series)-1
+	if doc.Series[first].Day >= cutoff {
+		t.Fatalf("first series day %s not before the cutoff %s", doc.Series[first].Day, cutoff)
+	}
+	if tot, reach := se(first); tot == 0 || reach != tot {
+		t.Errorf("pre-cutoff SE reachability = %d/%d, want fully reachable and nonzero", reach, tot)
+	}
+	if doc.Series[last].Day < cutoff {
+		t.Fatalf("last series day %s not past the cutoff %s", doc.Series[last].Day, cutoff)
+	}
+	if tot, reach := se(last); tot != 0 || reach != 0 {
+		t.Errorf("post-cutoff SE reachability = %d/%d, want the SE slice gone from the measured footprint", reach, tot)
+	}
+	if p := doc.Series[last]; p.Reachable == 0 || p.Reachable > p.Total {
+		t.Errorf("post-cutoff overall reachability %d/%d out of range", p.Reachable, p.Total)
+	}
+
+	resp, body = get(t, ts.URL+"/api/v1/figures/latency")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("latency: status %d, body: %s", resp.StatusCode, body)
+	}
+	var lat struct {
+		Series []struct {
+			Domains int   `json:"domains"`
+			P50US   int64 `json:"p50_us"`
+			P99US   int64 `json:"p99_us"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(body, &lat); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(lat.Series) == 0 {
+		t.Fatal("empty latency series")
+	}
+	if p := lat.Series[len(lat.Series)-1]; p.Domains == 0 || p.P50US == 0 || p.P99US < p.P50US {
+		t.Errorf("final latency point %+v, want routed domains with nonzero ordered quantiles", p)
+	}
+
+	resp, body = get(t, ts.URL+"/api/v1/outages")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("outages: status %d, body: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Scenario string `json:"scenario"`
+		Events   []struct {
+			Key  string `json:"key"`
+			Kind string `json:"kind"`
+			From string `json:"from"`
+			To   string `json:"to"`
+			Days int    `json:"days"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	kinds := map[string]string{}
+	for _, ev := range out.Events {
+		kinds[ev.Key] = ev.Kind
+		if ev.From > ev.To || ev.Days <= 0 {
+			t.Errorf("event %s has a degenerate window %s..%s (%d days)", ev.Key, ev.From, ev.To, ev.Days)
+		}
+	}
+	if got := kinds["route:depeer:AS8674-AS64500"]; got != "depeer" {
+		t.Errorf("depeering event kind = %q, events: %v", got, kinds)
+	}
+	if got := kinds["route:ixp:NETNOD-IX:AS8674"]; got != "ixp-withdraw" {
+		t.Errorf("IXP-withdrawal event kind = %q, events: %v", got, kinds)
 	}
 }
 

@@ -128,9 +128,10 @@ func (s *Server) Metrics() *metrics { return s.met }
 // endpointList enumerates the API surface (reported by /api/v1/study).
 func endpointList() []string {
 	return []string{
-		"/api/v1/figures/{1,2,3,4,5,8}",
+		"/api/v1/figures/{1,2,3,4,5,8,reachability,latency}",
 		"/api/v1/tables/{1,2}",
 		"/api/v1/hosting",
+		"/api/v1/outages",
 		"/api/v1/movement?asn=&from=",
 		"/api/v1/domains/{name}/timeline",
 		"/api/v1/sweeps",
@@ -147,6 +148,7 @@ func (s *Server) routes() {
 	s.handle("GET /api/v1/figures/{n}", "figures", s.handleFigure)
 	s.handle("GET /api/v1/tables/{n}", "tables", s.handleTable)
 	s.handle("GET /api/v1/hosting", "hosting", s.handleHosting)
+	s.handle("GET /api/v1/outages", "outages", s.handleOutages)
 	s.handle("GET /api/v1/movement", "movement", s.handleMovement)
 	s.handle("GET /api/v1/domains/{name}/timeline", "timeline", s.handleTimeline)
 	s.handle("GET /api/v1/sweeps", "sweeps", s.handleSweeps)
@@ -406,8 +408,26 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 				Timelines: renderTimelines(s.study.Fig8()),
 			}, nil
 		}
+	case "reachability":
+		compute = func(gen uint64) (any, error) {
+			return reachabilityDoc{
+				Endpoint: "reachability", Title: "Name-server reachability under routing scenario",
+				Scenario: s.study.Opts.Scenario, Generation: gen,
+				MissingDays: s.study.Store.MissingSweeps(),
+				Series:      renderReachability(s.study.Reachability()),
+			}, nil
+		}
+	case "latency":
+		compute = func(gen uint64) (any, error) {
+			return routeLatencyDoc{
+				Endpoint: "latency", Title: "Simulated resolution latency (best NS path)",
+				Scenario: s.study.Opts.Scenario, Generation: gen,
+				MissingDays: s.study.Store.MissingSweeps(),
+				Series:      renderRouteLatency(s.study.RouteLatency()),
+			}, nil
+		}
 	default:
-		http.Error(w, "unknown figure (have: 1, 2, 3, 4, 5, 8)", http.StatusNotFound)
+		http.Error(w, "unknown figure (have: 1, 2, 3, 4, 5, 8, reachability, latency)", http.StatusNotFound)
 		return
 	}
 	s.serveCached(w, r, "figures", "n="+n, compute)
@@ -458,6 +478,12 @@ func (s *Server) handleHosting(w http.ResponseWriter, r *http.Request) {
 			Generation: gen, MissingDays: s.study.Store.MissingSweeps(),
 			Series: renderComposition(s.study.Hosting()),
 		}, nil
+	})
+}
+
+func (s *Server) handleOutages(w http.ResponseWriter, r *http.Request) {
+	s.serveCached(w, r, "outages", "", func(gen uint64) (any, error) {
+		return renderOutages(s.study.Outages.Events(), s.study.Opts.Scenario, gen), nil
 	})
 }
 

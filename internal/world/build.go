@@ -27,6 +27,9 @@ type World struct {
 
 	// Internet is the address plan (ASes, prefixes, origin lookup).
 	Internet *netsim.Internet
+	// Topology is the AS-level routing graph (adjacency, IXP fabrics,
+	// scheduled route events) layered on Internet's address plan.
+	Topology *netsim.Topology
 	// Mem is the in-memory DNS wire.
 	Mem *dns.MemNet
 	// Geo is the IP2Location-analog geolocation database.
@@ -89,6 +92,9 @@ func Build(cfg Config) (*World, error) {
 	}
 	w.buildSanctioned()
 	if err := w.buildServing(); err != nil {
+		return nil, err
+	}
+	if err := w.buildTopology(); err != nil {
 		return nil, err
 	}
 	if err := w.buildCerts(); err != nil {
@@ -193,7 +199,6 @@ func (w *World) buildProviders() error {
 		}
 	}
 	// Root and TLD infrastructure live in a dedicated infra AS.
-	const infraASN = 51999
 	if _, err := w.Internet.RegisterAS(netsim.AS{Number: infraASN, Name: "infra", Org: "DNS Infrastructure", Country: "US"}); err != nil {
 		return err
 	}

@@ -36,6 +36,9 @@ type Provider struct {
 // hostPoolSize is the number of shared-hosting addresses per provider.
 const hostPoolSize = 64
 
+// infraASN is the dedicated AS hosting root and TLD server addresses.
+const infraASN netsim.ASN = 51999
+
 // Catalog returns the full provider catalog. AS numbers for real providers
 // are their real-world ASNs; synthetic aggregate pools use the 51xxx range.
 func Catalog() []*Provider {
