@@ -11,21 +11,29 @@
 //	rustore history FILE DOMAIN
 //	rustore csv     FILE DOMAIN > out.csv
 //	rustore fsck    FILE [-repair]
+//	rustore tail    FILE [-offset N] [-poll D]
 //
 // info describes either format — store ("WRST") or sweep journal
 // ("WRJL"): format version, domain count, sweep day range and missing
 // sweeps. fsck verifies the per-section checksums of either format,
 // reports what a torn or bit-flipped file still holds, and with -repair
 // truncates a journal's torn tail in place or rewrites a store to its
-// recoverable contents.
+// recoverable contents. tail follows a journal as a collector appends to
+// it — `tail -f` with WRJL framing — printing one line per durable
+// segment until interrupted; -offset resumes after a previously consumed
+// prefix (a prior run's printed offset).
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"io"
 	"net/netip"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"whereru/internal/dns"
 	"whereru/internal/iofault"
@@ -47,7 +55,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 2 {
-		return fmt.Errorf("usage: rustore info|domains|history|csv|fsck FILE [args]")
+		return fmt.Errorf("usage: rustore info|domains|history|csv|fsck|tail FILE [args]")
 	}
 	cmd, path := args[0], args[1]
 	switch cmd {
@@ -59,6 +67,8 @@ func run(args []string) error {
 		// info shares fsck's tolerant open path so it can describe both
 		// formats (store and journal) including damaged files.
 		return info(path)
+	case "tail":
+		return tail(path, args[2:])
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -89,6 +99,44 @@ func run(args []string) error {
 		return csvExport(st, dns.Canonical(args[2]))
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// tail follows a sweep journal as it grows, printing one line per
+// complete, checksum-valid segment until interrupted. Torn or in-flight
+// tails are waited out, exactly as the serve layer's follow watcher
+// does.
+func tail(path string, args []string) error {
+	fl := flag.NewFlagSet("tail", flag.ContinueOnError)
+	offset := fl.Int64("offset", 0, "byte offset to resume from (a previously printed offset)")
+	poll := fl.Duration("poll", store.DefaultTailPoll, "polling interval")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+	tl, err := store.OpenTail(path, *offset)
+	if err != nil {
+		return err
+	}
+	defer tl.Close()
+	tl.SetPoll(*poll)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for {
+		rec, err := tl.Next(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if rec.Missing {
+			fmt.Printf("%s missing offset=%d\n", rec.Day, tl.Offset())
+			continue
+		}
+		fmt.Printf("%s sweep domains=%d failed=%d nxdomain=%d unreachable=%d retries=%d recovered=%d measurements=%d offset=%d\n",
+			rec.Day, rec.Stats.Domains, rec.Stats.Failed, rec.Stats.NXDomain,
+			rec.Stats.Unreachable, rec.Stats.Retries, rec.Stats.Recovered,
+			len(rec.Measurements), tl.Offset())
 	}
 }
 

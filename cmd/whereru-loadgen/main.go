@@ -1,0 +1,297 @@
+// Command whereru-loadgen drives measured HTTP traffic against a running
+// whereru-serve instance and reports latency percentiles per traffic
+// class as JSON — the benchmark harness for the serve layer, follow mode
+// included.
+//
+// Three traffic classes exercise the three serving paths:
+//
+//	warm   repeated GETs of the figure/sweeps/hosting endpoints —
+//	       cache hits (and, under -follow, follow-patched entries)
+//	cold   movement queries with rotating parameters — every request a
+//	       distinct cache key, so each one runs a real computation
+//	mixed  80% warm / 20% cold, the dashboard-plus-explorer shape
+//
+// After the run, loadgen scrapes /healthz and /metrics so the report
+// records the store generation range covered and, when the server is
+// following a journal, how many live folds overlapped the traffic.
+//
+// Usage:
+//
+//	whereru-loadgen [flags]
+//
+//	-url URL        base URL of a whereru-serve instance (default
+//	                http://127.0.0.1:8334)
+//	-mix CLASS      warm, cold or mixed (default mixed)
+//	-duration D     how long to run (default 10s)
+//	-concurrency N  parallel client workers (default 8)
+//	-seed N         PRNG seed for request scheduling (default 1)
+//	-label S        free-form label copied into the report
+//	-out FILE       write the JSON report here (default stdout)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "whereru-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// warmPaths are the endpoints a dashboard polls: all cacheable, all
+// patched by follow mode.
+var warmPaths = []string{
+	"/api/v1/figures/1",
+	"/api/v1/figures/2",
+	"/api/v1/figures/3",
+	"/api/v1/figures/4",
+	"/api/v1/figures/5",
+	"/api/v1/figures/reachability",
+	"/api/v1/figures/latency",
+	"/api/v1/hosting",
+	"/api/v1/sweeps",
+}
+
+// coldASNs rotate through the movement endpoint; combined with a
+// per-request date they make every cold request a distinct cache key.
+var coldASNs = []uint32{197695, 13335, 24940, 16509, 20764, 8075, 15169, 12389}
+
+// classStats aggregates one traffic class's measurements.
+type classStats struct {
+	Requests int `json:"requests"`
+	// Saturated counts 503 responses: the server's fail-fast signal under
+	// compute saturation, not a failure of the server or the harness.
+	Saturated int   `json:"saturated,omitempty"`
+	Errors    int   `json:"errors"`
+	P50US     int64 `json:"p50_us"`
+	P90US     int64 `json:"p90_us"`
+	P99US     int64 `json:"p99_us"`
+	MaxUS     int64 `json:"max_us"`
+}
+
+// report is the JSON document loadgen emits.
+type report struct {
+	Label           string                `json:"label,omitempty"`
+	URL             string                `json:"url"`
+	Mix             string                `json:"mix"`
+	DurationSeconds float64               `json:"duration_seconds"`
+	Concurrency     int                   `json:"concurrency"`
+	Requests        int                   `json:"requests"`
+	Saturated       int                   `json:"saturated"`
+	Errors          int                   `json:"errors"`
+	Classes         map[string]classStats `json:"classes"`
+	GenerationStart uint64                `json:"generation_start"`
+	GenerationEnd   uint64                `json:"generation_end"`
+	StreamFolds     uint64                `json:"stream_folds"`
+	FoldSecondsSum  float64               `json:"fold_seconds_sum"`
+	FoldCount       uint64                `json:"fold_count"`
+}
+
+// sample is one timed request.
+type sample struct {
+	class     string
+	dur       time.Duration
+	err       bool
+	saturated bool
+}
+
+func run() error {
+	var (
+		base        = flag.String("url", "http://127.0.0.1:8334", "base URL of a whereru-serve instance")
+		mixFlag     = flag.String("mix", "mixed", "traffic class: warm, cold or mixed")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to run")
+		concurrency = flag.Int("concurrency", 8, "parallel client workers")
+		seed        = flag.Int64("seed", 1, "PRNG seed for request scheduling")
+		label       = flag.String("label", "", "free-form label copied into the report")
+		out         = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+	mix := *mixFlag
+	if mix != "warm" && mix != "cold" && mix != "mixed" {
+		return fmt.Errorf("-mix must be warm, cold or mixed (got %q)", mix)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	genStart, err := generation(client, *base)
+	if err != nil {
+		return fmt.Errorf("probing %s/healthz: %w", *base, err)
+	}
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(worker)))
+			local := make([]sample, 0, 1024)
+			for i := 0; time.Now().Before(deadline); i++ {
+				class := mix
+				if mix == "mixed" {
+					if rng.Intn(5) == 0 {
+						class = "cold"
+					} else {
+						class = "warm"
+					}
+				}
+				var path string
+				if class == "warm" {
+					path = warmPaths[rng.Intn(len(warmPaths))]
+				} else {
+					// Unique (asn, from) per request defeats the cache: each
+					// cold GET runs a full movement computation.
+					asn := coldASNs[rng.Intn(len(coldASNs))]
+					day := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC).
+						AddDate(0, 0, worker*10000+i)
+					path = fmt.Sprintf("/api/v1/movement?asn=%d&from=%s", asn, day.Format("2006-01-02"))
+				}
+				start := time.Now()
+				resp, err := client.Get(*base + path)
+				elapsed := time.Since(start)
+				bad, sat := err != nil, false
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch {
+					case resp.StatusCode == http.StatusServiceUnavailable:
+						sat = true
+					case resp.StatusCode != http.StatusOK:
+						bad = true
+					}
+				}
+				local = append(local, sample{class: class, dur: elapsed, err: bad, saturated: sat})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	genEnd, err := generation(client, *base)
+	if err != nil {
+		return err
+	}
+	folds, foldSum, foldCount := streamMetrics(client, *base)
+
+	rep := report{
+		Label: *label, URL: *base, Mix: mix,
+		DurationSeconds: duration.Seconds(),
+		Concurrency:     *concurrency,
+		Classes:         make(map[string]classStats),
+		GenerationStart: genStart, GenerationEnd: genEnd,
+		StreamFolds: folds, FoldSecondsSum: foldSum, FoldCount: foldCount,
+	}
+	byClass := map[string][]time.Duration{}
+	for _, s := range samples {
+		rep.Requests++
+		if s.err {
+			rep.Errors++
+		}
+		if s.saturated {
+			rep.Saturated++
+		}
+		byClass[s.class] = append(byClass[s.class], s.dur)
+	}
+	for class, durs := range byClass {
+		cs := classStats{Requests: len(durs)}
+		for _, s := range samples {
+			if s.class != class {
+				continue
+			}
+			if s.err {
+				cs.Errors++
+			}
+			if s.saturated {
+				cs.Saturated++
+			}
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		cs.P50US = quantile(durs, 0.50).Microseconds()
+		cs.P90US = quantile(durs, 0.90).Microseconds()
+		cs.P99US = quantile(durs, 0.99).Microseconds()
+		cs.MaxUS = durs[len(durs)-1].Microseconds()
+		rep.Classes[class] = cs
+	}
+
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	if *out == "" || *out == "-" {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	return os.WriteFile(*out, body, 0o644)
+}
+
+// quantile returns the q-th quantile of sorted durations (nearest rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// generation parses the store generation out of /healthz ("ok
+// generation=N ...").
+func generation(client *http.Client, base string) (uint64, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	for _, field := range strings.Fields(string(body)) {
+		if v, ok := strings.CutPrefix(field, "generation="); ok {
+			return strconv.ParseUint(v, 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("no generation in healthz response %q", body)
+}
+
+// streamMetrics scrapes the whereru_stream_* counters (zeros when the
+// scrape fails or the server is not following).
+func streamMetrics(client *http.Client, base string) (folds uint64, foldSum float64, foldCount uint64) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, "whereru_stream_folds_total "); ok {
+			folds, _ = strconv.ParseUint(v, 10, 64)
+		} else if v, ok := strings.CutPrefix(line, "whereru_stream_fold_seconds_sum "); ok {
+			foldSum, _ = strconv.ParseFloat(v, 64)
+		} else if v, ok := strings.CutPrefix(line, "whereru_stream_fold_seconds_count "); ok {
+			foldCount, _ = strconv.ParseUint(v, 10, 64)
+		}
+	}
+	return
+}

@@ -30,6 +30,13 @@
 //	-max-concurrent N  concurrent analysis computations (default GOMAXPROCS)
 //	-request-timeout D per-request deadline (default 30s)
 //	-cache-entries N   result-cache capacity (default 512)
+//	-follow          keep tailing the -checkpoint journal while serving:
+//	                 new sweeps appended by a concurrent `whereru
+//	                 -checkpoint FILE [-resume]` run are folded into the
+//	                 live figures incrementally, the response cache is
+//	                 patched in place, and /api/v1/stream/* endpoints
+//	                 push one event per folded sweep (SSE or long-poll)
+//	-follow-poll D   journal polling interval in follow mode (default 200ms)
 //	-quiet           suppress progress logging
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
@@ -49,6 +56,8 @@ import (
 
 	"whereru/internal/core"
 	"whereru/internal/serve"
+	"whereru/internal/store"
+	"whereru/internal/stream"
 	"whereru/internal/world"
 )
 
@@ -70,11 +79,16 @@ func run() error {
 	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent analysis computations (0 = GOMAXPROCS)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
 	cacheEntries := flag.Int("cache-entries", 0, "result-cache capacity (0 = default)")
+	follow := flag.Bool("follow", false, "keep tailing the -checkpoint journal and fold new sweeps live")
+	followPoll := flag.Duration("follow-poll", 0, "journal polling interval in follow mode (0 = default)")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	flag.Parse()
 
 	if *storePath != "" && *checkpoint != "" {
 		return fmt.Errorf("-store and -checkpoint are mutually exclusive")
+	}
+	if *follow && *checkpoint == "" {
+		return fmt.Errorf("-follow requires -checkpoint (the journal to tail)")
 	}
 
 	opts := core.Options{
@@ -93,6 +107,8 @@ func run() error {
 	defer stop()
 
 	var study *core.Study
+	var eng *stream.Engine
+	var startOffset int64
 	var err error
 	switch {
 	case *storePath != "":
@@ -105,6 +121,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	case *follow:
+		var replay *store.JournalReplay
+		study, replay, err = core.LoadCheckpointReplay(opts, *checkpoint)
+		if err != nil {
+			return err
+		}
+		eng = study.NewStreamEngine()
+		if err := core.FoldReplay(eng, replay); err != nil {
+			return err
+		}
+		startOffset = replay.GoodBytes
 	case *checkpoint != "":
 		study, err = core.LoadCheckpoint(opts, *checkpoint)
 		if err != nil {
@@ -119,7 +146,9 @@ func run() error {
 			return err
 		}
 	}
-	if len(study.Store.Sweeps()) == 0 {
+	// A followed journal may legitimately be empty: the collector writing
+	// it might not have swept yet.
+	if len(study.Store.Sweeps()) == 0 && !*follow {
 		return fmt.Errorf("the loaded study has no sweeps; nothing to serve")
 	}
 
@@ -134,7 +163,7 @@ func run() error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "serving %d domains, %d sweeps on http://%s\n",
@@ -142,6 +171,22 @@ func run() error {
 		}
 		errc <- httpSrv.ListenAndServe()
 	}()
+	if *follow {
+		go func() {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "following %s from offset %d\n", *checkpoint, startOffset)
+			}
+			if ferr := srv.Follow(ctx, serve.FollowOptions{
+				Engine:      eng,
+				JournalPath: *checkpoint,
+				StartOffset: startOffset,
+				Poll:        *followPoll,
+				Progress:    opts.Progress,
+			}); ferr != nil {
+				errc <- fmt.Errorf("follow: %w", ferr)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:

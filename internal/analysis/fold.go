@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"net/netip"
+	"time"
+
+	"whereru/internal/netsim"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+)
+
+// This file is the exported surface the incremental engine
+// (internal/stream) folds with. The stream engine maintains per-series
+// accumulators and patches them as journal segments land; to stay
+// byte-identical to the epoch engine it must classify and route with the
+// exact same functions, memoized the same way. Everything here is a thin
+// exported binding over the unexported classifier and route-cache
+// machinery the batch paths already use — one implementation, two
+// drivers.
+
+// DayClassifier classifies one (day, config) pair. Classifiers are pure
+// within a geolocation version window: for a fixed config the result may
+// change across days only when the geo snapshot changes, which is what
+// lets both the epoch engine and the fold engine classify once and apply
+// across a day range.
+type DayClassifier func(day simtime.Day, cfg store.Config) Composition
+
+// NewNSClassifier returns the Figure 1/5 classifier (name-server address
+// geolocation) bound to a fresh memoizing geo cache. Not safe for
+// concurrent use; callers own one per goroutine, like the shard workers.
+func (a *Analyzer) NewNSClassifier() DayClassifier {
+	return nsCompositionClassifier(newGeoCache(a.Geo))
+}
+
+// NewHostingClassifier returns the §3.1 hosting classifier (apex address
+// geolocation) bound to a fresh memoizing geo cache.
+func (a *Analyzer) NewHostingClassifier() DayClassifier {
+	return hostingCompositionClassifier(newGeoCache(a.Geo))
+}
+
+// NewTLDClassifier returns the Figure 2 classifier (name-server TLD
+// dependency; day- and geolocation-independent).
+func (a *Analyzer) NewTLDClassifier() DayClassifier {
+	return tldDependencyClassifier(newGeoCache(a.Geo))
+}
+
+// RoutesOracle resolves the analyzer's route oracle exactly as the
+// reachability series do: the configured Routes, or the all-reachable
+// default when no scenario is active.
+func (a *Analyzer) RoutesOracle() RouteOracle { return a.routes() }
+
+// RouteEval is a memoizing route evaluator: the exported form of the
+// per-shard route cache the reachability and latency series use. Not
+// safe for concurrent use.
+type RouteEval struct {
+	rc     *routeCache
+	oracle RouteOracle
+}
+
+// NewRouteEval returns a route evaluator over the analyzer's oracle and
+// address plan.
+func (a *Analyzer) NewRouteEval() *RouteEval {
+	oracle := a.routes()
+	return &RouteEval{rc: newRouteCache(oracle, a.Internet), oracle: oracle}
+}
+
+// Version returns the route-state version of a day (decisions are
+// constant within one version).
+func (e *RouteEval) Version(day simtime.Day) int { return e.oracle.Version(day) }
+
+// Route returns the memoized route decision for addr on day; ver must be
+// the day's route version.
+func (e *RouteEval) Route(ver int, day simtime.Day, addr netip.Addr) (time.Duration, bool) {
+	return e.rc.route(ver, day, addr)
+}
+
+// Origin returns the (ASN, country) of an address per the address plan;
+// known is false for addresses outside the plan, which the breakdowns
+// exclude.
+func (e *RouteEval) Origin(addr netip.Addr) (asn netsim.ASN, country string, known bool) {
+	o := e.rc.originOf(addr)
+	return o.asn, o.country, o.known
+}
+
+// LatencyBucketCount is the histogram resolution of the route-latency
+// series (power-of-two microsecond buckets).
+const LatencyBucketCount = latencyBuckets
+
+// LatencyBucketIndex returns the histogram bucket of a path latency.
+func LatencyBucketIndex(d time.Duration) int { return latencyBucket(d) }
+
+// LatencyQuantile returns the upper bound of the bucket holding the
+// q-quantile observation of a histogram (0 when empty).
+func LatencyQuantile(counts *[LatencyBucketCount]int, q float64) time.Duration {
+	return bucketQuantile(counts, q)
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"whereru/internal/openintel"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+	"whereru/internal/stream"
+)
+
+// This file wires the incremental engine (internal/stream) to a Study:
+// building an engine with the exact analysis context the batch figure
+// methods use, priming it from a journal replay, and applying follow-mode
+// journal segments to the study's store/stats — the same mutation
+// sequence ReplayJournal performs, one segment at a time.
+
+// NewStreamEngine returns an incremental engine bound to the study's
+// analyzer, sanctioned-domain filter and dense-window cutoff — the same
+// inputs Fig1..Fig5/Hosting/Mail/Reachability/RouteLatency consult, so a
+// fully-folded engine reproduces those methods byte for byte.
+func (s *Study) NewStreamEngine() *stream.Engine {
+	return stream.New(stream.Config{
+		Analyzer:    s.Analyzer,
+		Sanctioned:  s.sanctionedFilter(),
+		DenseCutoff: simtime.Date(2022, 2, 1),
+	})
+}
+
+// FoldReplay folds every record of a journal replay into eng, in order:
+// the cold prime of a followed study.
+func FoldReplay(eng *stream.Engine, replay *store.JournalReplay) error {
+	for _, rec := range replay.Sweeps {
+		if _, err := eng.Fold(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCheckpointReplay is LoadCheckpoint, additionally returning the
+// replay itself so follow mode knows the journal offset to tail from and
+// can prime an engine with the same records the store loaded.
+func LoadCheckpointReplay(opts Options, path string) (*Study, *store.JournalReplay, error) {
+	s, err := New(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	replay, err := store.VerifyJournal(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: loading checkpoint: %w", err)
+	}
+	if replay.Torn() {
+		s.Opts.Progress("warning: checkpoint has a torn tail (%d bytes ignored)", replay.TornBytes)
+	}
+	pipe := &openintel.Pipeline{Store: s.Store}
+	s.Stats = pipe.ReplayJournal(replay)
+	s.Sweeps = s.Store.Sweeps()
+	s.Opts.Progress("loaded %d journaled sweeps from %s", len(replay.Sweeps), path)
+	return s, replay, nil
+}
+
+// ApplySweep applies one follow-mode journal segment to the study: the
+// store mutation ReplayJournal performs for the record, plus the
+// Sweeps/Stats bookkeeping Collect performs for a live sweep. Performing
+// the identical mutation sequence is what keeps a followed study's store
+// generation equal to a cold full-replay — and therefore its rendered
+// documents byte-identical.
+func (s *Study) ApplySweep(rec store.JournalSweep) {
+	if rec.Missing {
+		s.Store.MarkMissingSweep(rec.Day)
+		return
+	}
+	s.Store.BeginSweep(rec.Day)
+	for _, m := range rec.Measurements {
+		s.Store.Add(m)
+	}
+	s.Sweeps = append(s.Sweeps, rec.Day)
+	s.Stats = append(s.Stats, openintel.SweepStats{
+		Day:         rec.Day,
+		Domains:     rec.Stats.Domains,
+		Failed:      rec.Stats.Failed,
+		NXDomain:    rec.Stats.NXDomain,
+		Retries:     rec.Stats.Retries,
+		Recovered:   rec.Stats.Recovered,
+		Unreachable: rec.Stats.Unreachable,
+	})
+}

@@ -106,6 +106,24 @@ func (c *resultCache) evictLocked(gen uint64) {
 	}
 }
 
+// insert installs an already-computed response for key, but only if the
+// key is absent — a pending leader or an existing body always wins, so
+// follow-mode patching can never clobber an in-flight computation or
+// duplicate an order entry. Reports whether the entry was installed.
+func (c *resultCache) insert(key cacheKey, body []byte, etag string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	c.evictLocked(key.gen)
+	e := &entry{ready: make(chan struct{}), body: body, etag: etag}
+	close(e.ready)
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	return true
+}
+
 // remove drops key from the cache if it still maps to e: failed and
 // saturated computations must not stay cached, so the next request
 // retries instead of replaying the error forever.

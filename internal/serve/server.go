@@ -36,7 +36,6 @@ import (
 	"sync"
 	"time"
 
-	"whereru/internal/analysis"
 	"whereru/internal/core"
 	"whereru/internal/dns"
 	"whereru/internal/netsim"
@@ -102,18 +101,27 @@ type Server struct {
 	snapMu  sync.Mutex
 	snapGen uint64
 	snap    *store.Snapshot
+
+	// liveMu guards the study's Sweeps/Stats slices, which the follow
+	// watcher appends to while request handlers read them. (The store has
+	// its own internal locking.)
+	liveMu sync.RWMutex
+	// follow is the follow-mode state; present (and all zeros) even when
+	// not following.
+	follow *followState
 }
 
 // New builds a Server over a study that has sweeps loaded or collected.
 func New(study *core.Study, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		study: study,
-		opts:  opts,
-		cache: newResultCache(opts.CacheEntries),
-		sem:   make(chan struct{}, opts.MaxConcurrent),
-		met:   newMetrics(),
-		mux:   http.NewServeMux(),
+		study:  study,
+		opts:   opts,
+		cache:  newResultCache(opts.CacheEntries),
+		sem:    make(chan struct{}, opts.MaxConcurrent),
+		met:    newMetrics(),
+		mux:    http.NewServeMux(),
+		follow: newFollowState(),
 	}
 	s.routes()
 	return s
@@ -135,6 +143,8 @@ func endpointList() []string {
 		"/api/v1/movement?asn=&from=",
 		"/api/v1/domains/{name}/timeline",
 		"/api/v1/sweeps",
+		"/api/v1/stream/sweeps",
+		"/api/v1/stream/figures/{1,2,3,4,5,reachability,latency}",
 		"/api/v1/study",
 		"/healthz",
 		"/metrics",
@@ -152,6 +162,8 @@ func (s *Server) routes() {
 	s.handle("GET /api/v1/movement", "movement", s.handleMovement)
 	s.handle("GET /api/v1/domains/{name}/timeline", "timeline", s.handleTimeline)
 	s.handle("GET /api/v1/sweeps", "sweeps", s.handleSweeps)
+	s.handleStream("GET /api/v1/stream/sweeps", "stream_sweeps", s.handleStreamSweeps)
+	s.handleStream("GET /api/v1/stream/figures/{n}", "stream_figures", s.handleStreamFigure)
 	s.handle("GET /api/v1/study", "study", s.handleStudy)
 	s.handle("GET /healthz", "healthz", s.handleHealthz)
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
@@ -166,6 +178,14 @@ type statusRecorder struct {
 func (sr *statusRecorder) WriteHeader(code int) {
 	sr.code = code
 	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so SSE handlers can stream
+// through the recorder.
+func (sr *statusRecorder) Flush() {
+	if fl, ok := sr.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 // handle registers pattern with per-request instrumentation: the
@@ -350,54 +370,13 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	n := r.PathValue("n")
 	var compute func(gen uint64) (any, error)
 	switch n {
-	case "1":
+	case "1", "2", "3", "4", "5", "reachability", "latency":
+		// Series figures render through the shared doc builders, the same
+		// code path follow-mode patching feeds from the stream engine — so
+		// a cold compute and a patched entry can only differ if the series
+		// themselves diverge (which the fold-equivalence tests forbid).
 		compute = func(gen uint64) (any, error) {
-			return compositionDoc{
-				Figure: 1, Title: "NS-infrastructure composition of .ru/.рф",
-				Generation: gen, MissingDays: s.study.Store.MissingSweeps(),
-				Series: renderComposition(s.study.Fig1()),
-			}, nil
-		}
-	case "2":
-		compute = func(gen uint64) (any, error) {
-			return compositionDoc{
-				Figure: 2, Title: "TLD dependency of .ru/.рф name servers",
-				Generation: gen, MissingDays: s.study.Store.MissingSweeps(),
-				Series: renderComposition(s.study.Fig2()),
-			}, nil
-		}
-	case "3":
-		compute = func(gen uint64) (any, error) {
-			series := s.study.Fig3()
-			top := analysis.TopTLDs(series, 5)
-			return tldShareDoc{
-				Figure: 3, Title: "Name-server TLD shares",
-				Generation: gen, TopTLDs: top,
-				MissingDays: s.study.Store.MissingSweeps(),
-				Series:      renderTLDShares(series, top),
-			}, nil
-		}
-	case "4":
-		compute = func(gen uint64) (any, error) {
-			plotted := make([]asnLabel, 0, len(core.Fig4Providers()))
-			for _, p := range core.Fig4Providers() {
-				plotted = append(plotted, asnLabel{ASN: p.ASN, Name: p.Name})
-			}
-			return asnShareDoc{
-				Figure: 4, Title: "Hosting ASN shares (2022 dense window)",
-				Generation: gen, Plotted: plotted,
-				MissingDays: missingIn(s.study.Store.MissingSweeps(), simtime.Date(2022, 2, 1)),
-				Series:      renderASNShares(s.study.Fig4()),
-			}, nil
-		}
-	case "5":
-		compute = func(gen uint64) (any, error) {
-			return compositionDoc{
-				Figure: 5, Title: "Sanctioned-domain NS composition (2022 dense window)",
-				Generation:  gen,
-				MissingDays: missingIn(s.study.Store.MissingSweeps(), simtime.Date(2022, 2, 1)),
-				Series:      renderComposition(s.study.Fig5()),
-			}, nil
+			return docFigure(n, gen, s.study.Store.MissingSweeps(), s.study.Opts.Scenario, s.study)
 		}
 	case "8":
 		compute = func(gen uint64) (any, error) {
@@ -406,24 +385,6 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 				Generation: gen,
 				WindowFrom: world.RussianCAStartDay, WindowTo: simtime.CTWindowEnd,
 				Timelines: renderTimelines(s.study.Fig8()),
-			}, nil
-		}
-	case "reachability":
-		compute = func(gen uint64) (any, error) {
-			return reachabilityDoc{
-				Endpoint: "reachability", Title: "Name-server reachability under routing scenario",
-				Scenario: s.study.Opts.Scenario, Generation: gen,
-				MissingDays: s.study.Store.MissingSweeps(),
-				Series:      renderReachability(s.study.Reachability()),
-			}, nil
-		}
-	case "latency":
-		compute = func(gen uint64) (any, error) {
-			return routeLatencyDoc{
-				Endpoint: "latency", Title: "Simulated resolution latency (best NS path)",
-				Scenario: s.study.Opts.Scenario, Generation: gen,
-				MissingDays: s.study.Store.MissingSweeps(),
-				Series:      renderRouteLatency(s.study.RouteLatency()),
 			}, nil
 		}
 	default:
@@ -473,11 +434,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHosting(w http.ResponseWriter, r *http.Request) {
 	s.serveCached(w, r, "hosting", "", func(gen uint64) (any, error) {
-		return compositionDoc{
-			Endpoint: "hosting", Title: "Hosting composition (§3.1)",
-			Generation: gen, MissingDays: s.study.Store.MissingSweeps(),
-			Series: renderComposition(s.study.Hosting()),
-		}, nil
+		return docHosting(gen, s.study.Store.MissingSweeps(), s.study), nil
 	})
 }
 
@@ -538,7 +495,7 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	s.serveCached(w, r, "sweeps", "", func(gen uint64) (any, error) {
-		return renderSweeps(s.snapshot(gen), s.study.Store.MissingSweeps(), s.study.Stats, gen), nil
+		return renderSweeps(s.snapshot(gen), s.study.Store.MissingSweeps(), s.liveStats(), gen), nil
 	})
 }
 
@@ -550,13 +507,22 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok generation=%d sweeps=%d domains=%d\n",
+	fmt.Fprintf(w, "ok generation=%d sweeps=%d domains=%d",
 		s.study.Store.Generation(), len(s.study.Store.Sweeps()), s.study.Store.NumDomains())
+	if s.follow.active.Load() {
+		f := s.follow
+		f.mu.Lock()
+		folds, lastDay, lag := f.folds, f.lastDay, f.lagBytes
+		f.mu.Unlock()
+		fmt.Fprintf(w, " follow=1 folds=%d last_folded=%s lag_bytes=%d", folds, lastDay, lag)
+	}
+	fmt.Fprintln(w)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.WriteTo(w)
-	writeSweepCacheMetrics(w, s.study.Stats)
+	writeSweepCacheMetrics(w, s.liveStats())
 	writeStoreMemMetrics(w, s.study.Store.MemStats())
+	s.writeStreamMetrics(w)
 }

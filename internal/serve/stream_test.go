@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"net/http/httptest"
+
+	"whereru/internal/core"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+	"whereru/internal/world"
+)
+
+// followOpts is a short study window straddling the dense cutoff, so the
+// dense-window figures (4/5) gain points during the followed tail.
+func followOpts() core.Options {
+	return core.Options{
+		World:      world.Config{Seed: 5, Scale: 20000, RFShare: 0.1},
+		DenseStep:  7,
+		CollectMX:  true,
+		StudyStart: simtime.Date(2021, 12, 1),
+		StudyEnd:   simtime.Date(2022, 3, 1),
+	}
+}
+
+// collectJournal collects a full study once and returns its journal
+// replay and path (the segment source for the follow tests).
+func collectJournal(t *testing.T) (*store.JournalReplay, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "full.wrjl")
+	opts := followOpts()
+	opts.CheckpointPath = path
+	s, err := core.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := store.VerifyJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay.Sweeps) < 4 {
+		t.Fatalf("need at least 4 journal segments, have %d", len(replay.Sweeps))
+	}
+	return replay, path
+}
+
+// startFollowed writes the first k segments of replay into a fresh
+// journal, loads a study+engine from it, and starts a followed server
+// tailing that journal. It returns the server, its base URL, and the
+// still-open journal for the test to append the remaining segments to.
+func startFollowed(t *testing.T, replay *store.JournalReplay, k int, opts Options) (*Server, string, *store.Journal) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "follow.wrjl")
+	j, err := store.CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	for _, rec := range replay.Sweeps[:k] {
+		if err := j.AppendSweep(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	study, prefix, err := core.LoadCheckpointReplay(followOpts(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := study.NewStreamEngine()
+	if err := core.FoldReplay(eng, prefix); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(study, opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	done := make(chan error, 1)
+	go func() {
+		done <- srv.Follow(ctx, FollowOptions{
+			Engine:      eng,
+			JournalPath: path,
+			StartOffset: prefix.GoodBytes,
+			Poll:        2 * time.Millisecond,
+		})
+	}()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Follow returned %v", err)
+		}
+	})
+	waitFor(t, "follow active", func() bool { return srv.follow.active.Load() })
+	return srv, ts.URL, j
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// sseReader connects to an SSE endpoint and delivers decoded "data:"
+// payloads over a channel.
+func sseReader(t *testing.T, url string) (<-chan streamEvent, func()) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("SSE connect: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("SSE Content-Type = %q", ct)
+	}
+	events := make(chan streamEvent, 64)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev streamEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				return
+			}
+			events <- ev
+		}
+	}()
+	return events, func() { resp.Body.Close() }
+}
+
+func nextEvent(t *testing.T, events <-chan streamEvent) streamEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-events:
+		if !ok {
+			t.Fatal("SSE stream closed early")
+		}
+		return ev
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for SSE event")
+	}
+	panic("unreachable")
+}
+
+// patchedEndpoints are the paths follow mode patches into the cache —
+// the byte-compare set against a cold restart.
+var patchedEndpoints = []string{
+	"/api/v1/figures/1",
+	"/api/v1/figures/2",
+	"/api/v1/figures/3",
+	"/api/v1/figures/4",
+	"/api/v1/figures/5",
+	"/api/v1/figures/reachability",
+	"/api/v1/figures/latency",
+	"/api/v1/hosting",
+	"/api/v1/sweeps",
+}
+
+// TestFollowLiveUpdates is the end-to-end follow-mode test: segments
+// appended to the journal must each produce one SSE event, patch the
+// response cache at the new generation, and leave every patched endpoint
+// byte-identical (body and ETag) to a cold server restarted over the
+// same journal.
+func TestFollowLiveUpdates(t *testing.T) {
+	replay, fullPath := collectJournal(t)
+	n := len(replay.Sweeps)
+	k := n / 2
+	srv, base, j := startFollowed(t, replay, k, Options{})
+
+	events, closeSSE := sseReader(t, base+"/api/v1/stream/sweeps")
+	defer closeSSE()
+	figEvents, closeFig := sseReader(t, base+"/api/v1/stream/figures/3")
+	defer closeFig()
+
+	// Concurrent readers keep hammering the API during folds; under
+	// -race this doubles as an interleaving test.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, p := range []string{"/api/v1/figures/1", "/api/v1/sweeps", "/metrics", "/healthz"} {
+					resp, _ := get(t, base+p)
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("GET %s during folds: status %d", p, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var lastGen uint64
+	for _, rec := range replay.Sweeps[k:] {
+		if err := j.AppendSweep(rec); err != nil {
+			t.Fatal(err)
+		}
+		ev := nextEvent(t, events)
+		if ev.Day != rec.Day {
+			t.Fatalf("event day = %s, appended %s", ev.Day, rec.Day)
+		}
+		if ev.Generation <= lastGen {
+			t.Fatalf("event generation %d did not advance past %d", ev.Generation, lastGen)
+		}
+		if !rec.Missing && len(ev.ETags) == 0 {
+			t.Fatalf("swept-day event carries no etags: %+v", ev)
+		}
+		lastGen = ev.Generation
+
+		fev := nextEvent(t, figEvents)
+		if fev.Day != rec.Day || fev.Generation != ev.Generation {
+			t.Fatalf("figure event %+v does not match sweep event %+v", fev, ev)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	srv.follow.mu.Lock()
+	folds, patched := srv.follow.folds, srv.follow.patched
+	srv.follow.mu.Unlock()
+	if folds != uint64(n-k) {
+		t.Fatalf("folds = %d, want %d", folds, n-k)
+	}
+	if patched == 0 {
+		t.Fatal("no cache entries were patched")
+	}
+
+	// A conditional GET with the patched ETag must round-trip to 304.
+	resp, _ := get(t, base+"/api/v1/figures/3")
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on patched figure")
+	}
+	req, _ := http.NewRequest(http.MethodGet, base+"/api/v1/figures/3", nil)
+	req.Header.Set("If-None-Match", etag)
+	cresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET after patch: status %d, want 304", cresp.StatusCode)
+	}
+
+	// healthz and metrics report the follow state.
+	_, hbody := get(t, base+"/healthz")
+	if !strings.HasPrefix(string(hbody), "ok ") || !strings.Contains(string(hbody), "follow=1") {
+		t.Fatalf("healthz = %q", hbody)
+	}
+	_, mbody := get(t, base+"/metrics")
+	for _, want := range []string{
+		fmt.Sprintf("whereru_stream_folds_total %d", n-k),
+		"whereru_stream_following 1",
+		"whereru_stream_cache_patched_total",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+
+	// Byte-compare every patched endpoint against a cold restart over the
+	// same journal — same bodies, same ETags.
+	coldStudy, _, err := core.LoadCheckpointReplay(followOpts(), fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSrv := httptest.NewServer(New(coldStudy, Options{}))
+	defer coldSrv.Close()
+	if lg, cg := srv.study.Store.Generation(), coldStudy.Store.Generation(); lg != cg {
+		t.Fatalf("followed generation %d != cold generation %d", lg, cg)
+	}
+	for _, p := range patchedEndpoints {
+		lresp, lbody := get(t, base+p)
+		cresp, cbody := get(t, coldSrv.URL+p)
+		if lresp.StatusCode != http.StatusOK || cresp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status live=%d cold=%d", p, lresp.StatusCode, cresp.StatusCode)
+		}
+		if string(lbody) != string(cbody) {
+			t.Errorf("%s: patched body diverged from cold restart\n live: %.200s\n cold: %.200s", p, lbody, cbody)
+		}
+		if le, ce := lresp.Header.Get("ETag"), cresp.Header.Get("ETag"); le != ce {
+			t.Errorf("%s: patched ETag %s != cold ETag %s", p, le, ce)
+		}
+	}
+}
+
+// TestLongPollStream covers the non-SSE side: ?since= returns the latest
+// event immediately once the generation has advanced past it, and 204
+// when nothing arrives before the deadline.
+func TestLongPollStream(t *testing.T) {
+	replay, _ := collectJournal(t)
+	n := len(replay.Sweeps)
+	srv, base, j := startFollowed(t, replay, n-1, Options{RequestTimeout: 500 * time.Millisecond})
+
+	if err := j.AppendSweep(replay.Sweeps[n-1]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "final fold", func() bool { return srv.follow.engine.Folds() == uint64(n) })
+
+	resp, body := get(t, base+"/api/v1/stream/sweeps?since=0")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("long-poll since=0: status %d", resp.StatusCode)
+	}
+	var ev streamEvent
+	if err := json.Unmarshal(body, &ev); err != nil {
+		t.Fatalf("long-poll body %q: %v", body, err)
+	}
+	if ev.Day != replay.Sweeps[n-1].Day {
+		t.Fatalf("long-poll day = %s, want %s", ev.Day, replay.Sweeps[n-1].Day)
+	}
+
+	// Figure-scoped long-poll carries the figure's patched ETag.
+	fresp, fbody := get(t, base+"/api/v1/stream/figures/1?since=0")
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("figure long-poll: status %d", fresp.StatusCode)
+	}
+	var fev figureEvent
+	if err := json.Unmarshal(fbody, &fev); err != nil {
+		t.Fatal(err)
+	}
+	if fev.Figure != "1" || fev.Generation != ev.Generation {
+		t.Fatalf("figure long-poll event = %+v", fev)
+	}
+	if fev.ETag != "" {
+		gresp, _ := get(t, base+"/api/v1/figures/1")
+		if got := gresp.Header.Get("ETag"); got != fev.ETag {
+			t.Fatalf("figure etag %s != event etag %s", got, fev.ETag)
+		}
+	}
+
+	// Caught up: nothing new before the deadline → 204.
+	nresp, _ := get(t, fmt.Sprintf("%s/api/v1/stream/sweeps?since=%d", base, ev.Generation))
+	if nresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("caught-up long-poll: status %d, want 204", nresp.StatusCode)
+	}
+
+	// Malformed since is a client error.
+	bresp, _ := get(t, base+"/api/v1/stream/sweeps?since=banana")
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since: status %d, want 400", bresp.StatusCode)
+	}
+}
+
+// TestStreamRequiresFollow pins the non-following behavior: stream
+// endpoints 404 and unknown stream figures 404 regardless.
+func TestStreamRequiresFollow(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, _ := get(t, ts.URL+"/api/v1/stream/sweeps")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stream without follow: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/api/v1/stream/figures/8")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("figure 8 stream: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,214 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+)
+
+// Tailer follows a WRJL journal file as it grows, decoding each segment
+// once it is completely and verifiably on disk — `tail -f` with the
+// journal's framing and checksum rules. It is the input side of follow
+// mode: the serve watcher and `rustore tail` both drain one.
+//
+// A frame that is only partially visible (the writer is mid-append, or a
+// crashed writer left a torn tail that its resuming successor will
+// truncate away) is simply not yet available: Next keeps polling until
+// the bytes at the current offset become a complete, checksum-valid
+// segment. The file shrinking below the tailer's offset, by contrast, is
+// a real error — every offset the tailer advances past was a durable,
+// CRC-valid segment, so truncation below it means the file is not the
+// journal the tailer was following.
+type Tailer struct {
+	f    *os.File
+	path string
+	off  int64
+	// poll is the interval at which Next re-examines the file (default
+	// 200ms).
+	poll  time.Duration
+	hdrOK bool
+}
+
+// DefaultTailPoll is the default polling interval of a Tailer.
+const DefaultTailPoll = 200 * time.Millisecond
+
+// OpenTail opens the journal at path for following, starting at offset.
+// Offset 0 (or anything below the 6-byte header) starts at the first
+// segment — the header is validated once it exists; an offset returned
+// by a prior scan (JournalReplay.GoodBytes) or Tailer.Offset resumes
+// after the segments that scan already consumed. The file itself need
+// not exist yet if offset is 0; Next waits for it.
+func OpenTail(path string, offset int64) (*Tailer, error) {
+	t := &Tailer{path: path, off: offset, poll: DefaultTailPoll}
+	if offset >= 6 {
+		t.hdrOK = true
+	} else {
+		t.off = 6
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) && offset < 6 {
+			return t, nil // wait for creation in Next
+		}
+		return nil, fmt.Errorf("store: tail: %w", err)
+	}
+	t.f = f
+	if t.hdrOK {
+		return t, nil
+	}
+	if err := t.checkHeader(); err != nil && err != errTailWait {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// SetPoll overrides the polling interval (intervals <= 0 keep the
+// default).
+func (t *Tailer) SetPoll(d time.Duration) {
+	if d > 0 {
+		t.poll = d
+	}
+}
+
+// Offset returns the end of the last consumed segment: the resume point
+// for a successor tailer.
+func (t *Tailer) Offset() int64 { return t.off }
+
+// Lag returns how many bytes of journal exist beyond the tailer's
+// offset (0 when fully caught up; it counts torn or in-flight bytes
+// too, which is exactly what a watcher wants to alert on).
+func (t *Tailer) Lag() int64 {
+	if t.f == nil {
+		return 0
+	}
+	st, err := t.f.Stat()
+	if err != nil || st.Size() < t.off {
+		return 0
+	}
+	return st.Size() - t.off
+}
+
+// Close releases the underlying file.
+func (t *Tailer) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	return t.f.Close()
+}
+
+// errTailWait is the internal "not yet" signal: the bytes needed are not
+// on disk (or not valid) yet.
+var errTailWait = fmt.Errorf("store: tail: waiting for data")
+
+// Next blocks until the next complete segment is available and returns
+// it, or fails with the context's error when ctx ends first.
+func (t *Tailer) Next(ctx context.Context) (JournalSweep, error) {
+	for {
+		rec, err := t.tryNext()
+		if err == nil {
+			return rec, nil
+		}
+		if err != errTailWait {
+			return JournalSweep{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return JournalSweep{}, ctx.Err()
+		case <-time.After(t.poll):
+		}
+	}
+}
+
+// tryNext attempts to decode one segment at the current offset without
+// blocking: errTailWait means try again later.
+func (t *Tailer) tryNext() (JournalSweep, error) {
+	var zero JournalSweep
+	if t.f == nil {
+		f, err := os.Open(t.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return zero, errTailWait
+			}
+			return zero, fmt.Errorf("store: tail: %w", err)
+		}
+		t.f = f
+	}
+	if !t.hdrOK {
+		if err := t.checkHeader(); err != nil {
+			return zero, err
+		}
+	}
+	st, err := t.f.Stat()
+	if err != nil {
+		return zero, fmt.Errorf("store: tail: %w", err)
+	}
+	size := st.Size()
+	if size < t.off {
+		return zero, fmt.Errorf("store: tail: journal truncated to %d bytes below consumed offset %d", size, t.off)
+	}
+	if size < t.off+8 {
+		return zero, errTailWait
+	}
+	var hdr [4]byte
+	if _, err := t.f.ReadAt(hdr[:], t.off); err != nil {
+		return zero, errTailWait
+	}
+	payloadLen := int64(binary.BigEndian.Uint32(hdr[:]))
+	if payloadLen > maxJournalSegment {
+		// Garbage length: a torn tail the writer will truncate on its
+		// next open. Not ours to consume.
+		return zero, errTailWait
+	}
+	frameEnd := t.off + 4 + payloadLen + 4
+	if size < frameEnd {
+		return zero, errTailWait
+	}
+	buf := make([]byte, payloadLen+4)
+	if _, err := io.ReadFull(io.NewSectionReader(t.f, t.off+4, payloadLen+4), buf); err != nil {
+		return zero, errTailWait
+	}
+	payload, crcb := buf[:payloadLen], buf[payloadLen:]
+	if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(crcb) {
+		// Torn or in-flight bytes; wait for the writer to finish or a
+		// resuming writer to truncate them away.
+		return zero, errTailWait
+	}
+	rec, err := decodeJournalPayload(payload)
+	if err != nil {
+		// Checksum-valid but undecodable is real corruption, not a race.
+		return zero, err
+	}
+	t.off = frameEnd
+	return rec, nil
+}
+
+// checkHeader validates the 6-byte file header once enough bytes exist.
+func (t *Tailer) checkHeader() error {
+	st, err := t.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: tail: %w", err)
+	}
+	if st.Size() < 6 {
+		return errTailWait
+	}
+	var hdr [6]byte
+	if _, err := t.f.ReadAt(hdr[:], 0); err != nil {
+		return errTailWait
+	}
+	if string(hdr[:4]) != journalMagic {
+		return fmt.Errorf("store: tail: bad magic %q", hdr[:4])
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:]); v != journalVersion {
+		return fmt.Errorf("store: tail: unsupported version %d", v)
+	}
+	t.hdrOK = true
+	if t.off < 6 {
+		t.off = 6
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package store
+
+import (
+	"context"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+	"whereru/internal/simtime"
+)
+
+func tailRec(day int32, domain string) JournalSweep {
+	return JournalSweep{
+		Day:   simtime.Day(day),
+		Stats: JournalStats{Domains: 1},
+		Measurements: []Measurement{{
+			Domain: domain,
+			Day:    simtime.Day(day),
+			Config: Config{
+				NSHosts: []string{"ns1." + domain},
+				NSAddrs: []netip.Addr{netip.MustParseAddr("192.0.2.1")},
+			},
+		}},
+	}
+}
+
+func fastTail(t *testing.T, path string, off int64) *Tailer {
+	t.Helper()
+	tl, err := OpenTail(path, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.SetPoll(5 * time.Millisecond)
+	t.Cleanup(func() { tl.Close() })
+	return tl
+}
+
+func TestTailerFollowsAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wrjl")
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.AppendSweep(tailRec(100, "a.ru.")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSweep(JournalSweep{Day: simtime.Day(101), Missing: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	tl := fastTail(t, path, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	r1, err := tl.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Day != simtime.Day(100) || len(r1.Measurements) != 1 || r1.Measurements[0].Domain != "a.ru." {
+		t.Fatalf("first segment = %+v", r1)
+	}
+	r2, err := tl.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Day != simtime.Day(101) || !r2.Missing {
+		t.Fatalf("second segment = %+v", r2)
+	}
+	if lag := tl.Lag(); lag != 0 {
+		t.Fatalf("caught-up Lag = %d, want 0", lag)
+	}
+
+	// A segment appended while the tailer is mid-Next must be delivered.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		j.AppendSweep(tailRec(102, "b.ru."))
+	}()
+	r3, err := tl.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Day != simtime.Day(102) {
+		t.Fatalf("live segment day = %s", r3.Day)
+	}
+}
+
+func TestTailerResumesFromOffset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wrjl")
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.AppendSweep(tailRec(100, "a.ru.")); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := VerifyJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSweep(tailRec(101, "b.ru.")); err != nil {
+		t.Fatal(err)
+	}
+
+	tl := fastTail(t, path, replay.GoodBytes)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rec, err := tl.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Day != simtime.Day(101) {
+		t.Fatalf("resumed tail saw day %s, want %s", rec.Day, simtime.Day(101))
+	}
+}
+
+func TestTailerWaitsOutTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wrjl")
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSweep(tailRec(100, "a.ru.")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a crashed writer: garbage beyond the last durable segment.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{0x00, 0x00, 0x00, 0x20, 0xde, 0xad, 0xbe, 0xef}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tl := fastTail(t, path, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if rec, err := tl.Next(ctx); err != nil {
+		t.Fatal(err)
+	} else if rec.Day != simtime.Day(100) {
+		t.Fatalf("day = %s", rec.Day)
+	}
+	// The torn tail must read as "no data yet", not as an error or a
+	// record.
+	short, scancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer scancel()
+	if rec, err := tl.Next(short); err != context.DeadlineExceeded {
+		t.Fatalf("torn tail yielded (%+v, %v), want deadline", rec, err)
+	}
+
+	// A resuming writer truncates the tear and appends; the tailer picks
+	// that up transparently.
+	j2, replay, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !replay.Torn() {
+		t.Fatal("expected a torn tail")
+	}
+	if err := j2.AppendSweep(tailRec(101, "b.ru.")); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tl.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Day != simtime.Day(101) {
+		t.Fatalf("post-repair day = %s", rec.Day)
+	}
+}
+
+func TestTailerRejectsTruncationBelowOffset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wrjl")
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendSweep(tailRec(100, "a.ru.")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	tl := fastTail(t, path, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := tl.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Next(ctx); err == nil || err == context.DeadlineExceeded {
+		t.Fatalf("truncation below offset yielded %v, want a hard error", err)
+	}
+}
+
+func TestTailerWaitsForFileCreation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wrjl")
+	tl, err := OpenTail(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	tl.SetPoll(5 * time.Millisecond)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		j, err := CreateJournal(path)
+		if err != nil {
+			return
+		}
+		defer j.Close()
+		j.AppendSweep(tailRec(100, "a.ru."))
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rec, err := tl.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Day != simtime.Day(100) {
+		t.Fatalf("day = %s", rec.Day)
+	}
+}

@@ -1,0 +1,382 @@
+// Package stream is the incremental half of the analysis layer: an
+// engine that maintains every longitudinal series the serve API exposes
+// (Figures 1/2/3/4/5, hosting, mail, reachability, latency, per-sweep
+// counts) as live accumulator state, and folds one journal segment's
+// deltas into them instead of revisiting all epochs.
+//
+// The contract is byte-identity: after folding segments 1..k, every
+// getter returns element-for-element exactly what a cold
+// analysis.Analyzer recompute over the same k segments returns (the
+// equivalence tests assert this through reflect.DeepEqual and through
+// the serve layer's rendered JSON). What makes a fold O(day) rather
+// than O(study) is the same piecewise-constant insight the columnar
+// store compresses:
+//
+//   - Appending sweep day T only changes the series at axis days in
+//     (prevSeen(domain), T] for domains measured on T. A domain whose
+//     config is unchanged extends its current epoch over that whole
+//     range; a changed config closes the old epoch at T-1 (so gap days
+//     in between carry the old classification) and opens a new one at
+//     T. Domains absent from the sweep are untouched — their final
+//     epoch still ends at their last-seen day, exactly as the store's
+//     effective-interval rule reads it.
+//   - A missing-day marker appends an Interpolated axis point that is
+//     all zeros until a later sweep's backfill covers it.
+//
+// Per-domain cursors (last measured axis index + last config) are the
+// only cross-fold state besides the accumulators themselves, so fold
+// cost is proportional to the segment's measurements plus the patched
+// gap ranges — independent of how long the study already is. FoldStats
+// counts the work done, which is what the O(day) tests pin.
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"whereru/internal/analysis"
+	"whereru/internal/netsim"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+)
+
+// Config wires an Engine to a study's analysis context.
+type Config struct {
+	// Analyzer supplies the classifiers, geolocation, address plan and
+	// route oracle. The engine owns private memoizing caches built from
+	// it; the analyzer itself is only read.
+	Analyzer *analysis.Analyzer
+	// Sanctioned is the Figure 5 domain filter (nil folds Figure 5 over
+	// all domains, like a study without sanction data).
+	Sanctioned analysis.Filter
+	// DenseCutoff is the first axis day of the dense-window figures
+	// (4 and 5); days before it are excluded from those two series.
+	// Zero includes every day.
+	DenseCutoff simtime.Day
+}
+
+// FoldStats counts the work one fold performed. The counters are the
+// ground truth of the O(day) contract: for a fixed sweep, they are
+// independent of how many segments were folded before it.
+type FoldStats struct {
+	Day     simtime.Day
+	Missing bool
+	// Measurements is the number of measurements in the folded segment.
+	Measurements int
+	// DomainsTouched counts domains whose cursor advanced.
+	DomainsTouched int
+	// Classifications counts per-day classifier/route evaluations.
+	Classifications int
+	// PointsPatched counts individual series-point updates (a domain
+	// covering one axis day in one series counts once).
+	PointsPatched int
+}
+
+// add accumulates other into s (used to total stats across folds).
+func (s *FoldStats) add(o FoldStats) {
+	s.Measurements += o.Measurements
+	s.DomainsTouched += o.DomainsTouched
+	s.Classifications += o.Classifications
+	s.PointsPatched += o.PointsPatched
+}
+
+// cursor is the per-domain fold state: the axis index of the domain's
+// last measurement and the (normalized) config it carried.
+type cursor struct {
+	lastIdx int
+	cfg     store.Config
+}
+
+// SweepCount is one sweep day of the per-sweep measurement counts (the
+// /api/v1/sweeps derivation): totals of measured domains that day and
+// the failed/NXDOMAIN/unreachable classification of their configs.
+type SweepCount struct {
+	Day         simtime.Day
+	Measured    int
+	Failed      int
+	NXDomain    int
+	Unreachable int
+}
+
+// accumulator is one incrementally-maintained series.
+type accumulator interface {
+	// appendDay extends the series axis with the global axis day gi.
+	appendDay(e *Engine, gi int, day simtime.Day, swept bool)
+	// cover applies one domain's coverage of the inclusive global axis
+	// index range [lo, hi] under cfg.
+	cover(e *Engine, domain string, cfg store.Config, lo, hi int, st *FoldStats)
+}
+
+// Engine holds the accumulator state for every series. All methods are
+// safe for concurrent use: folds take the write lock, getters the read
+// lock and return copies.
+type Engine struct {
+	mu sync.RWMutex
+
+	// days is the global axis: every folded day (sweep or missing), in
+	// ascending order — the same axis core.Study.keyDays() computes.
+	days     []simtime.Day
+	swept    []bool
+	sweepIdx []int // global index -> sweep ordinal (-1 for missing days)
+	// sweptBefore[i] is the number of swept axis days among days[:i]
+	// (len(days)+1 entries), mapping global index ranges to sweep
+	// ordinal ranges in O(1).
+	sweptBefore []int
+	sweeps      []simtime.Day
+	missing     []simtime.Day
+
+	cursors map[string]cursor
+
+	fig1, fig2, fig5, hosting *compSeries
+	fig3                      *shareSeries[string]
+	fig4                      *shareSeries[netsim.ASN]
+	mail                      *shareSeries[string]
+	reach                     *reachSeries
+	lat                       *latSeries
+	counts                    *sweepSeries
+	accs                      []accumulator
+
+	folds uint64
+	total FoldStats
+}
+
+// New builds an empty engine; feed it journal segments with Fold.
+func New(cfg Config) *Engine {
+	a := cfg.Analyzer
+	e := &Engine{cursors: make(map[string]cursor), sweptBefore: []int{0}}
+	e.fig1 = newCompSeries(a.NewNSClassifier(), nil, 0)
+	e.fig2 = newCompSeries(a.NewTLDClassifier(), nil, 0)
+	e.fig5 = newCompSeries(a.NewNSClassifier(), cfg.Sanctioned, cfg.DenseCutoff)
+	e.hosting = newCompSeries(a.NewHostingClassifier(), nil, 0)
+	e.fig3 = newShareSeries[string](0,
+		func(cfg store.Config) bool { return !cfg.Failed && len(cfg.NSHosts) > 0 },
+		nil,
+		tldKeys)
+	e.fig4 = newShareSeries[netsim.ASN](cfg.DenseCutoff,
+		func(cfg store.Config) bool { return !cfg.Failed },
+		nil,
+		func(c store.Config, dst []netsim.ASN) []netsim.ASN { return asnKeys(a, c, dst) })
+	e.mail = newShareSeries[string](0,
+		func(cfg store.Config) bool { return !cfg.Failed },
+		func(cfg store.Config) bool { return len(cfg.MXHosts) > 0 },
+		mailKeys)
+	e.reach = newReachSeries(a.NewRouteEval())
+	e.lat = newLatSeries(a.NewRouteEval())
+	e.counts = &sweepSeries{}
+	e.accs = []accumulator{e.fig1, e.fig2, e.fig5, e.hosting, e.fig3, e.fig4, e.mail, e.reach, e.lat, e.counts}
+	return e
+}
+
+// Fold applies one journal segment. Segments must arrive in ascending
+// day order — the order the journal records them — with at most one
+// measurement per domain per segment (the journal's own invariants).
+func (e *Engine) Fold(rec store.JournalSweep) (FoldStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := FoldStats{Day: rec.Day, Missing: rec.Missing, Measurements: len(rec.Measurements)}
+	if n := len(e.days); n > 0 && rec.Day <= e.days[n-1] {
+		return st, fmt.Errorf("stream: fold of %s out of order (axis ends at %s)", rec.Day, e.days[n-1])
+	}
+	gi := len(e.days)
+	swept := !rec.Missing
+	e.days = append(e.days, rec.Day)
+	e.swept = append(e.swept, swept)
+	if swept {
+		e.sweepIdx = append(e.sweepIdx, len(e.sweeps))
+		e.sweeps = append(e.sweeps, rec.Day)
+		e.sweptBefore = append(e.sweptBefore, e.sweptBefore[gi]+1)
+	} else {
+		e.sweepIdx = append(e.sweepIdx, -1)
+		e.missing = append(e.missing, rec.Day)
+		e.sweptBefore = append(e.sweptBefore, e.sweptBefore[gi])
+	}
+	for _, acc := range e.accs {
+		acc.appendDay(e, gi, rec.Day, swept)
+	}
+	if swept {
+		for _, m := range rec.Measurements {
+			cfg := m.Config.Normalize()
+			cur, seen := e.cursors[m.Domain]
+			if seen && cur.lastIdx >= gi {
+				// Duplicate measurement within one segment: the journal
+				// never produces one; ignore rather than double-count.
+				continue
+			}
+			st.DomainsTouched++
+			switch {
+			case !seen:
+				e.coverAll(m.Domain, cfg, gi, gi, &st)
+			case cur.cfg.Equal(cfg):
+				// Same config: the store extends the tail epoch, which
+				// retroactively covers every axis day since the previous
+				// measurement (gap days, and sweep days the domain sat
+				// out before re-entering identically).
+				e.coverAll(m.Domain, cur.cfg, cur.lastIdx+1, gi, &st)
+			default:
+				// Changed config: the old epoch's effective end becomes
+				// T-1, so intermediate axis days carry the old
+				// classification; day T gets the new one.
+				if cur.lastIdx+1 <= gi-1 {
+					e.coverAll(m.Domain, cur.cfg, cur.lastIdx+1, gi-1, &st)
+				}
+				e.coverAll(m.Domain, cfg, gi, gi, &st)
+			}
+			e.cursors[m.Domain] = cursor{lastIdx: gi, cfg: cfg}
+		}
+	}
+	e.folds++
+	e.total.add(st)
+	return st, nil
+}
+
+func (e *Engine) coverAll(domain string, cfg store.Config, lo, hi int, st *FoldStats) {
+	for _, acc := range e.accs {
+		acc.cover(e, domain, cfg, lo, hi, st)
+	}
+}
+
+// --- getters (read lock + copy; every one matches the corresponding
+// core.Study method element for element) ---
+
+// Fig1 returns the NS-composition series.
+func (e *Engine) Fig1() []analysis.Point { return e.compPoints(e.fig1) }
+
+// Fig2 returns the TLD-dependency series.
+func (e *Engine) Fig2() []analysis.Point { return e.compPoints(e.fig2) }
+
+// Fig5 returns the sanctioned-domain NS-composition series (dense
+// window).
+func (e *Engine) Fig5() []analysis.Point { return e.compPoints(e.fig5) }
+
+// Hosting returns the §3.1 hosting-composition series.
+func (e *Engine) Hosting() []analysis.Point { return e.compPoints(e.hosting) }
+
+func (e *Engine) compPoints(cs *compSeries) []analysis.Point {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]analysis.Point, len(cs.pts))
+	copy(out, cs.pts)
+	return out
+}
+
+// Fig3 returns the per-TLD share series.
+func (e *Engine) Fig3() []analysis.TLDSharePoint {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := e.fig3
+	out := make([]analysis.TLDSharePoint, 0, len(s.totals))
+	for i := range s.totals {
+		out = append(out, analysis.TLDSharePoint{
+			Day: e.days[s.start+i], Total: s.totals[i], Counts: copyMap(s.counts[i]),
+		})
+	}
+	return out
+}
+
+// Fig4 returns the hosting-ASN share series (dense window).
+func (e *Engine) Fig4() []analysis.ASNSharePoint {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := e.fig4
+	out := make([]analysis.ASNSharePoint, 0, len(s.totals))
+	for i := range s.totals {
+		out = append(out, analysis.ASNSharePoint{
+			Day: e.days[s.start+i], Total: s.totals[i], Counts: copyMap(s.counts[i]),
+		})
+	}
+	return out
+}
+
+// Mail returns the mail-operator share series.
+func (e *Engine) Mail() []analysis.MailSharePoint {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := e.mail
+	out := make([]analysis.MailSharePoint, 0, len(s.totals))
+	for i := range s.totals {
+		out = append(out, analysis.MailSharePoint{
+			Day: e.days[s.start+i], Total: s.totals[i], WithMail: s.subs[i], Counts: copyMap(s.counts[i]),
+		})
+	}
+	return out
+}
+
+// Reachability returns the per-day reachability series.
+func (e *Engine) Reachability() []analysis.ReachPoint {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.reach.materialize(e)
+}
+
+// RouteLatency returns the simulated resolution-latency series.
+func (e *Engine) RouteLatency() []analysis.RouteLatencyPoint {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.lat.materialize(e)
+}
+
+// SweepCounts returns the per-sweep measurement counts.
+func (e *Engine) SweepCounts() []SweepCount {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	c := e.counts
+	out := make([]SweepCount, 0, len(e.sweeps))
+	for i, day := range e.sweeps {
+		out = append(out, SweepCount{
+			Day: day, Measured: c.measured[i], Failed: c.failed[i],
+			NXDomain: c.nxdomain[i], Unreachable: c.unreach[i],
+		})
+	}
+	return out
+}
+
+// Days returns the folded axis (sweeps plus missing days, ascending).
+func (e *Engine) Days() []simtime.Day {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]simtime.Day, len(e.days))
+	copy(out, e.days)
+	return out
+}
+
+// MissingDays returns the folded missing-day markers.
+func (e *Engine) MissingDays() []simtime.Day {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]simtime.Day, len(e.missing))
+	copy(out, e.missing)
+	return out
+}
+
+// LastDay returns the most recently folded day (ok=false before any
+// fold).
+func (e *Engine) LastDay() (simtime.Day, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if len(e.days) == 0 {
+		return 0, false
+	}
+	return e.days[len(e.days)-1], true
+}
+
+// Folds returns how many segments have been folded.
+func (e *Engine) Folds() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.folds
+}
+
+// TotalStats returns the fold-work counters summed over every fold.
+func (e *Engine) TotalStats() FoldStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.total
+}
+
+func copyMap[K comparable](m map[K]int) map[K]int {
+	out := make(map[K]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

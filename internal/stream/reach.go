@@ -1,0 +1,265 @@
+package stream
+
+import (
+	"sort"
+	"time"
+
+	"whereru/internal/analysis"
+	"whereru/internal/netsim"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+)
+
+// reachSeries accumulates the per-day reachability series: running
+// domain totals and reachable counts, overall and per country / ASN of
+// the name-server addresses, evaluated through the same memoizing route
+// cache the batch engine shards use. Its axis is the full global axis
+// (no cutoff), so local and global indices coincide.
+type reachSeries struct {
+	eval           *analysis.RouteEval
+	total, reach   []int
+	cTotal, cReach map[string][]int
+	aTotal, aReach map[netsim.ASN][]int
+	// Per-(epoch, day) scratch: country/ASN -> saw a reachable address.
+	cSeen map[string]bool
+	aSeen map[netsim.ASN]bool
+}
+
+func newReachSeries(eval *analysis.RouteEval) *reachSeries {
+	return &reachSeries{
+		eval:   eval,
+		cTotal: make(map[string][]int), cReach: make(map[string][]int),
+		aTotal: make(map[netsim.ASN][]int), aReach: make(map[netsim.ASN][]int),
+		cSeen: make(map[string]bool), aSeen: make(map[netsim.ASN]bool),
+	}
+}
+
+func (s *reachSeries) appendDay(*Engine, int, simtime.Day, bool) {
+	s.total = append(s.total, 0)
+	s.reach = append(s.reach, 0)
+	for k := range s.cTotal {
+		s.cTotal[k] = append(s.cTotal[k], 0)
+	}
+	for k := range s.cReach {
+		s.cReach[k] = append(s.cReach[k], 0)
+	}
+	for k := range s.aTotal {
+		s.aTotal[k] = append(s.aTotal[k], 0)
+	}
+	for k := range s.aReach {
+		s.aReach[k] = append(s.aReach[k], 0)
+	}
+}
+
+// bump increments m[k][i], zero-filling a new key's column to length n.
+func bump[K comparable](m map[K][]int, k K, i, n int) {
+	col := m[k]
+	if col == nil {
+		col = make([]int, n)
+		m[k] = col
+	}
+	col[i]++
+}
+
+func (s *reachSeries) cover(e *Engine, _ string, cfg store.Config, lo, hi int, st *FoldStats) {
+	if len(cfg.NSAddrs) == 0 {
+		return
+	}
+	n := len(s.total)
+	for i := lo; i <= hi; i++ {
+		day := e.days[i]
+		ver := s.eval.Version(day)
+		anyReach := false
+		clear(s.cSeen)
+		clear(s.aSeen)
+		for _, addr := range cfg.NSAddrs {
+			_, ok := s.eval.Route(ver, day, addr)
+			if ok {
+				anyReach = true
+			}
+			asn, country, known := s.eval.Origin(addr)
+			if !known {
+				continue
+			}
+			if country != "" {
+				s.cSeen[country] = s.cSeen[country] || ok
+			}
+			s.aSeen[asn] = s.aSeen[asn] || ok
+		}
+		st.Classifications++
+		st.PointsPatched++
+		s.total[i]++
+		if anyReach {
+			s.reach[i]++
+		}
+		for country, reach := range s.cSeen {
+			bump(s.cTotal, country, i, n)
+			if reach {
+				bump(s.cReach, country, i, n)
+			}
+		}
+		for asn, reach := range s.aSeen {
+			bump(s.aTotal, asn, i, n)
+			if reach {
+				bump(s.aReach, asn, i, n)
+			}
+		}
+	}
+}
+
+// materialize renders the accumulators into the batch engine's exact
+// output shape. Caller holds the engine lock.
+func (s *reachSeries) materialize(e *Engine) []analysis.ReachPoint {
+	countries := make([]string, 0, len(s.cTotal))
+	for c := range s.cTotal {
+		countries = append(countries, c)
+	}
+	sort.Strings(countries)
+	asns := make([]netsim.ASN, 0, len(s.aTotal))
+	for as := range s.aTotal {
+		asns = append(asns, as)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	out := make([]analysis.ReachPoint, 0, len(e.days))
+	for i, day := range e.days {
+		p := analysis.ReachPoint{
+			Day:          day,
+			Interpolated: !e.swept[i],
+			Total:        s.total[i],
+			Reachable:    s.reach[i],
+			Unreachable:  s.total[i] - s.reach[i],
+		}
+		for _, c := range countries {
+			t := s.cTotal[c][i]
+			if t == 0 {
+				continue
+			}
+			r := 0
+			if col := s.cReach[c]; col != nil {
+				r = col[i]
+			}
+			p.Countries = append(p.Countries, analysis.CountryReach{Country: c, Total: t, Reachable: r})
+		}
+		for _, as := range asns {
+			t := s.aTotal[as][i]
+			if t == 0 {
+				continue
+			}
+			r := 0
+			if col := s.aReach[as]; col != nil {
+				r = col[i]
+			}
+			p.ASNs = append(p.ASNs, analysis.ASNReach{ASN: as, Total: t, Reachable: r})
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// latSeries accumulates the simulated resolution-latency series: one
+// best-path-latency histogram per day, overall and per country.
+type latSeries struct {
+	eval  *analysis.RouteEval
+	hist  [][analysis.LatencyBucketCount]int
+	cHist map[string][][analysis.LatencyBucketCount]int
+	cSeen map[string]bool
+}
+
+func newLatSeries(eval *analysis.RouteEval) *latSeries {
+	return &latSeries{
+		eval:  eval,
+		cHist: make(map[string][][analysis.LatencyBucketCount]int),
+		cSeen: make(map[string]bool),
+	}
+}
+
+func (s *latSeries) appendDay(*Engine, int, simtime.Day, bool) {
+	s.hist = append(s.hist, [analysis.LatencyBucketCount]int{})
+	for k := range s.cHist {
+		s.cHist[k] = append(s.cHist[k], [analysis.LatencyBucketCount]int{})
+	}
+}
+
+func (s *latSeries) cover(e *Engine, _ string, cfg store.Config, lo, hi int, st *FoldStats) {
+	if len(cfg.NSAddrs) == 0 {
+		return
+	}
+	for i := lo; i <= hi; i++ {
+		day := e.days[i]
+		ver := s.eval.Version(day)
+		best, routed := time.Duration(0), false
+		clear(s.cSeen)
+		for _, addr := range cfg.NSAddrs {
+			lat, ok := s.eval.Route(ver, day, addr)
+			if !ok {
+				continue
+			}
+			if !routed || lat < best {
+				best, routed = lat, true
+			}
+			if _, country, known := s.eval.Origin(addr); known && country != "" {
+				s.cSeen[country] = true
+			}
+		}
+		st.Classifications++
+		if !routed {
+			continue
+		}
+		st.PointsPatched++
+		b := analysis.LatencyBucketIndex(best)
+		s.hist[i][b]++
+		for country := range s.cSeen {
+			col := s.cHist[country]
+			if col == nil {
+				col = make([][analysis.LatencyBucketCount]int, len(s.hist))
+				s.cHist[country] = col
+			}
+			col[i][b]++
+		}
+	}
+}
+
+func (s *latSeries) materialize(e *Engine) []analysis.RouteLatencyPoint {
+	countries := make([]string, 0, len(s.cHist))
+	for c := range s.cHist {
+		countries = append(countries, c)
+	}
+	sort.Strings(countries)
+
+	out := make([]analysis.RouteLatencyPoint, 0, len(e.days))
+	for i, day := range e.days {
+		run := s.hist[i]
+		domains := 0
+		for _, c := range run {
+			domains += c
+		}
+		p := analysis.RouteLatencyPoint{
+			Day:          day,
+			Interpolated: !e.swept[i],
+			Domains:      domains,
+			P50:          analysis.LatencyQuantile(&run, 0.50),
+			P90:          analysis.LatencyQuantile(&run, 0.90),
+			P99:          analysis.LatencyQuantile(&run, 0.99),
+		}
+		for _, c := range countries {
+			cr := s.cHist[c][i]
+			cd := 0
+			for _, v := range cr {
+				cd += v
+			}
+			if cd == 0 {
+				continue
+			}
+			p.Countries = append(p.Countries, analysis.CountryLatency{
+				Country: c,
+				Domains: cd,
+				P50:     analysis.LatencyQuantile(&cr, 0.50),
+				P90:     analysis.LatencyQuantile(&cr, 0.90),
+				P99:     analysis.LatencyQuantile(&cr, 0.99),
+			})
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package stream
+
+import (
+	"whereru/internal/analysis"
+	"whereru/internal/dns"
+	"whereru/internal/netsim"
+	"whereru/internal/simtime"
+	"whereru/internal/store"
+)
+
+// compSeries accumulates one composition series (Figures 1, 2, 5 and
+// the hosting breakdown): a Point per admitted axis day, patched in
+// place as folds cover day ranges.
+type compSeries struct {
+	classify analysis.DayClassifier
+	filter   analysis.Filter
+	cutoff   simtime.Day
+	// start is the global axis index of the series' first admitted day
+	// (-1 until one is appended); local index i maps to global start+i.
+	start int
+	pts   []analysis.Point
+}
+
+func newCompSeries(classify analysis.DayClassifier, filter analysis.Filter, cutoff simtime.Day) *compSeries {
+	return &compSeries{classify: classify, filter: filter, cutoff: cutoff, start: -1}
+}
+
+func (s *compSeries) appendDay(_ *Engine, gi int, day simtime.Day, swept bool) {
+	if day < s.cutoff {
+		return
+	}
+	if s.start < 0 {
+		s.start = gi
+	}
+	s.pts = append(s.pts, analysis.Point{Day: day, Interpolated: !swept})
+}
+
+// clamp maps an inclusive global range to the series' local range; ok is
+// false when the series has no days in it.
+func (s *compSeries) clamp(lo, hi int) (l, h int, ok bool) {
+	if s.start < 0 || hi < s.start {
+		return 0, 0, false
+	}
+	if lo < s.start {
+		lo = s.start
+	}
+	return lo - s.start, hi - s.start, true
+}
+
+func (s *compSeries) cover(e *Engine, domain string, cfg store.Config, lo, hi int, st *FoldStats) {
+	if s.filter != nil && !s.filter(domain) {
+		return
+	}
+	l, h, ok := s.clamp(lo, hi)
+	if !ok {
+		return
+	}
+	for i := l; i <= h; i++ {
+		c := s.classify(e.days[s.start+i], cfg)
+		st.Classifications++
+		st.PointsPatched++
+		p := &s.pts[i]
+		p.Total++
+		switch c {
+		case analysis.CompFull:
+			p.Full++
+		case analysis.CompPart:
+			p.Part++
+		case analysis.CompNon:
+			p.Non++
+		default:
+			p.Unknown++
+		}
+	}
+}
+
+// shareSeries accumulates one keyed-share series (Figures 3 and 4, mail
+// operators): per-day totals, optional subpopulation totals, and per-key
+// counts. Keys are config-derived and day-independent, exactly like the
+// epoch engine's key extraction.
+type shareSeries[K comparable] struct {
+	include func(store.Config) bool
+	subpop  func(store.Config) bool
+	keysOf  func(store.Config, []K) []K
+	cutoff  simtime.Day
+	start   int
+	totals  []int
+	subs    []int
+	counts  []map[K]int
+	scratch []K
+}
+
+func newShareSeries[K comparable](cutoff simtime.Day, include, subpop func(store.Config) bool, keysOf func(store.Config, []K) []K) *shareSeries[K] {
+	return &shareSeries[K]{include: include, subpop: subpop, keysOf: keysOf, cutoff: cutoff, start: -1}
+}
+
+func (s *shareSeries[K]) appendDay(_ *Engine, gi int, day simtime.Day, _ bool) {
+	if day < s.cutoff {
+		return
+	}
+	if s.start < 0 {
+		s.start = gi
+	}
+	s.totals = append(s.totals, 0)
+	s.subs = append(s.subs, 0)
+	s.counts = append(s.counts, make(map[K]int))
+}
+
+func (s *shareSeries[K]) cover(_ *Engine, _ string, cfg store.Config, lo, hi int, st *FoldStats) {
+	if s.start < 0 || hi < s.start {
+		return
+	}
+	if lo < s.start {
+		lo = s.start
+	}
+	l, h := lo-s.start, hi-s.start
+	if !s.include(cfg) {
+		// Excluded configs contribute to neither totals nor counts — the
+		// epoch engine's include gate runs before the total.
+		return
+	}
+	inSub := s.subpop == nil || s.subpop(cfg)
+	var keys []K
+	if inSub {
+		s.scratch = s.keysOf(cfg, s.scratch[:0])
+		keys = s.scratch
+		st.Classifications++
+	}
+	for i := l; i <= h; i++ {
+		st.PointsPatched++
+		s.totals[i]++
+		if !inSub {
+			continue
+		}
+		if s.subpop != nil {
+			s.subs[i]++
+		}
+		for _, k := range keys {
+			s.counts[i][k]++
+		}
+	}
+}
+
+// sweepSeries accumulates the per-sweep coverage counts backing the
+// /api/v1/sweeps rows: for each sweep day, how many domains' epochs
+// cover it and how their configs classify (failed / NXDOMAIN /
+// unreachable). It is a carry-forward series like the composition ones
+// (the serve renderer walks epochs with difference arrays over the
+// sweeps axis) but on sweep days only — missing axis days are rendered
+// as bare markers and carry no counts.
+type sweepSeries struct {
+	measured []int
+	failed   []int
+	nxdomain []int
+	unreach  []int
+}
+
+func (s *sweepSeries) appendDay(_ *Engine, _ int, _ simtime.Day, swept bool) {
+	if !swept {
+		return
+	}
+	s.measured = append(s.measured, 0)
+	s.failed = append(s.failed, 0)
+	s.nxdomain = append(s.nxdomain, 0)
+	s.unreach = append(s.unreach, 0)
+}
+
+func (s *sweepSeries) cover(e *Engine, _ string, cfg store.Config, lo, hi int, st *FoldStats) {
+	// Map the global range to sweep ordinals; missing days inside it
+	// carry no sweep rows.
+	loOrd := e.sweptBefore[lo]
+	hiOrd := e.sweptBefore[hi+1] - 1
+	for si := loOrd; si <= hiOrd; si++ {
+		st.PointsPatched++
+		s.measured[si]++
+		switch {
+		case cfg.Failed:
+			s.failed[si]++
+		case len(cfg.NSHosts) == 0:
+			s.nxdomain[si]++
+		case len(cfg.NSAddrs) == 0:
+			s.unreach[si]++
+		}
+	}
+}
+
+// --- key extractors shared with the analysis layer's share series ---
+
+func tldKeys(cfg store.Config, dst []string) []string {
+	for _, host := range cfg.NSHosts {
+		dst = uniqueAppend(dst, dns.TLD(host))
+	}
+	return dst
+}
+
+func asnKeys(a *analysis.Analyzer, cfg store.Config, dst []netsim.ASN) []netsim.ASN {
+	for _, addr := range cfg.ApexAddrs {
+		if asn, ok := a.Internet.OriginAS(addr); ok {
+			dst = uniqueAppend(dst, asn)
+		}
+	}
+	return dst
+}
+
+func mailKeys(cfg store.Config, dst []string) []string {
+	for _, h := range cfg.MXHosts {
+		dst = uniqueAppend(dst, analysis.MXZone(h))
+	}
+	return dst
+}
+
+func uniqueAppend[K comparable](dst []K, k K) []K {
+	for _, have := range dst {
+		if have == k {
+			return dst
+		}
+	}
+	return append(dst, k)
+}
